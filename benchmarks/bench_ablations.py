@@ -1,0 +1,62 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_abl_delay_cap(benchmark):
+    """The B/(k-1) support cap is load-bearing: deviating in either
+    direction worsens the competitive ratio."""
+    result = run_and_report(benchmark, "abl_delay_cap", quick=False)
+    for k in sorted({r["k"] for r in result.rows}):
+        rows = [r for r in result.rows if r["k"] == k]
+        best = min(rows, key=lambda r: r["ratio"])
+        assert best["cap_factor"] == 1.0
+
+
+def test_abl_hybrid(benchmark):
+    """The hybrid resolver picks RA at k=2 and RW for k>=3 and achieves
+    the min of the two ratio curves."""
+    result = run_and_report(benchmark, "abl_hybrid", quick=False)
+    for row in result.rows:
+        expected = (
+            "requestor_aborts" if row["k"] == 2 else "requestor_wins"
+        )
+        assert row["hybrid_picks"] == expected
+        assert row["hybrid_ratio"] <= min(row["ratio_RW"], row["ratio_RA"]) + 1e-9
+
+
+def test_abl_mean_error(benchmark):
+    """The constrained policy with the exact mean achieves its promised
+    ratio; biased estimates degrade gracefully."""
+    result = run_and_report(benchmark, "abl_mean_error", quick=False)
+    exact = next(r for r in result.rows if r["mu_hat/mu"] == 1.0)
+    assert exact["achieved_ratio_at_true_mu"] == min(
+        r["achieved_ratio_at_true_mu"] for r in result.rows
+    )
+
+
+def test_abl_wedge(benchmark):
+    """Wedge-aware immediate aborts (structurally doomed receivers)
+    must not reduce throughput."""
+    result = run_and_report(benchmark, "abl_wedge")
+    by = {(r["threads"], r["wedge_aware"]): r["ops"] for r in result.rows}
+    for threads in sorted({r["threads"] for r in result.rows}):
+        assert by[(threads, True)] >= 0.8 * by[(threads, False)]
+
+
+def test_abl_k_aware(benchmark):
+    """Theorem 5/6's B/(k-1) chain scaling, live: the k-aware uniform
+    policy must win (or tie) once chains actually form (>= 8 cores)."""
+    result = run_and_report(benchmark, "abl_k_aware", quick=False)
+    contended = [r for r in result.rows if r["cores"] >= 8]
+    assert contended and all(r["k_aware_wins"] for r in contended)
+
+
+def test_abl_backoff(benchmark):
+    """Multiplicative growth needs (logarithmically) fewer attempts than
+    additive growth for long transactions."""
+    result = run_and_report(benchmark, "abl_backoff", quick=False)
+    by = {r["growth"]: r["median_attempts"] for r in result.rows}
+    assert by["x2.0 (paper)"] <= by["+B0 additive"]

@@ -1,0 +1,23 @@
+"""Benchmarks for the global guarantees (Corollaries 1 and 2)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_cor1_throughput_competitiveness(benchmark):
+    """Sum of running times vs offline optimum under four adversaries x
+    two length distributions: every measured ratio within the
+    (2w+1)/(w+1) bound."""
+    result = run_and_report(benchmark, "cor1")
+    assert all(r["within"] for r in result.rows)
+    # the bound itself never reaches 2
+    assert all(r["bound"] < 2.0 for r in result.rows)
+
+
+def test_cor2_progress_guarantee(benchmark):
+    """Doubling the abort cost after every abort: commit within
+    log y + log gamma + log k - log B + 2 attempts w.p. >= 1/2."""
+    result = run_and_report(benchmark, "cor2")
+    assert all(r["holds_half"] for r in result.rows)
+    assert all(r["p_within_bound"] >= 0.5 for r in result.rows)

@@ -1,0 +1,117 @@
+"""Benchmarks for the extension experiments (beyond the paper's
+artifacts): resolution strategies in the HTM, extension workloads, and
+the moment-constrained adversary machinery."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_abl_htm_resolution(benchmark):
+    """RW vs RA vs hybrid vs adaptive vs the global-knowledge Greedy CM
+    — the local optimal policies must be competitive with (here: beat)
+    the global-knowledge baseline, the paper's closing 'surprising'
+    observation."""
+    result = run_and_report(benchmark, "abl_htm_resolution", quick=False)
+    for workload in {r["workload"] for r in result.rows}:
+        for threads in {r["threads"] for r in result.rows}:
+            rows = {
+                r["resolution"]: r["ops"]
+                for r in result.rows
+                if r["workload"] == workload and r["threads"] == threads
+            }
+            best_local = max(
+                rows["RW (DELAY_RAND)"], rows["RA (NACK)"], rows["HYBRID"]
+            )
+            assert best_local >= 0.9 * rows["GREEDY_CM (global)"]
+
+
+def test_ext_bank(benchmark):
+    """Bank workload sweep (conservation + audit isolation verified
+    inside the runner)."""
+    result = run_and_report(benchmark, "ext_bank")
+    assert all(r["ops"] > 0 for r in result.rows)
+
+
+def test_ext_listset(benchmark):
+    """List-set sweep; delay policies must beat NO_DELAY at 8 threads
+    (traversal read sets make graces profitable)."""
+    result = run_and_report(benchmark, "ext_listset")
+    at8 = {r["policy"]: r["ops"] for r in result.rows if r["threads"] == 8}
+    best_delay = max(at8["DELAY_RAND"], at8["DELAY_RA"], at8["DELAY_HYBRID"])
+    assert best_delay >= at8["NO_DELAY"] * 0.95
+
+
+def test_ext_chains(benchmark):
+    """Theory vs Monte-Carlo across chain sizes: the hybrid must always
+    sit on the winner's curve."""
+    result = run_and_report(benchmark, "ext_chains", quick=False)
+    for row in result.rows:
+        if row["strategy"] == "HYBRID picks":
+            assert row["pick"] == row["mc_winner"]
+        elif row["strategy"] in ("RW", "RA"):
+            assert abs(row["numeric_ratio"] - row["closed_ratio"]) < 5e-3
+            assert abs(row["mc_cost_vs_OPT"] - row["closed_ratio"]) < 0.05
+
+
+def test_ext_throughput(benchmark):
+    """Time-resolved arena: under the paper's per-attempt adversary the
+    delay policies beat immediate abort on commits and on mean Gamma."""
+    result = run_and_report(benchmark, "ext_throughput", quick=False)
+    per_attempt = {
+        r["policy"]: r
+        for r in result.rows
+        if r["adversary"] == "per_attempt"
+    }
+    assert (
+        per_attempt["RRW (uniform)"]["commits"]
+        > per_attempt["NO_DELAY"]["commits"]
+    )
+    assert (
+        per_attempt["RRW (uniform)"]["mean_gamma"]
+        < per_attempt["NO_DELAY"]["mean_gamma"]
+    )
+
+
+def test_abl_sensitivity(benchmark):
+    """The delay-vs-NO_DELAY ordering must hold over the whole
+    calibration grid (DESIGN.md §5b.5)."""
+    result = run_and_report(benchmark, "abl_sensitivity")
+    assert all(r["delay_wins"] for r in result.rows)
+
+
+def test_ext_regimes(benchmark):
+    """The continuous B/mu curve behind Figures 2a/2b: DET's plateau at
+    high B/mu, the RA family's win at low B/mu."""
+    result = run_and_report(benchmark, "ext_regimes", quick=False)
+    by_ratio = {r["B/mu"]: r for r in result.rows}
+    assert by_ratio[8.0]["best"] == "DET"
+    assert by_ratio[0.25]["best"].startswith("RRA")
+    # DET monotone improvement with B/mu
+    dets = [by_ratio[k]["DET"] for k in sorted(by_ratio)]
+    assert dets == sorted(dets, reverse=True)
+
+
+def test_moment_constrained_lp(benchmark):
+    """Mean+variance constrained adversary LP: timing + consistency with
+    the mean-only concave envelope."""
+    import numpy as np
+
+    from repro.core.model import ConflictKind, ConflictModel
+    from repro.core.moments import MomentConstraint, moment_constrained_ratio
+    from repro.core.requestor_wins import MeanConstrainedRW
+    from repro.core.verify import constrained_competitive_ratio
+
+    B = 500.0
+    model = ConflictModel(ConflictKind.REQUESTOR_WINS, B, 2)
+    policy = MeanConstrainedRW(B, 50.0)
+
+    def run():
+        return moment_constrained_ratio(
+            policy, model, [MomentConstraint(1, 50.0)], grid=1024
+        )
+
+    lp_value = benchmark.pedantic(run, rounds=1, iterations=1)
+    envelope = constrained_competitive_ratio(policy, model, 50.0).ratio
+    assert np.isclose(lp_value, envelope, rtol=5e-3)
+    print(f"\nLP={lp_value:.5f} envelope={envelope:.5f}")

@@ -1,0 +1,48 @@
+"""Benchmarks regenerating Figure 2 (synthetic average costs).
+
+Each bench prints the per-(distribution, policy) mean-cost table and
+asserts the published qualitative shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_and_report
+
+
+def _by(rows):
+    return {(r["distribution"], r["policy"]): r["mean_cost"] for r in rows}
+
+
+def test_fig2a_high_fixed_cost(benchmark):
+    """B=2000, mu=500: DET near OPT; constrained beats unconstrained;
+    RRW ~ 2x OPT and RRA ~ e/(e-1) x OPT on every distribution."""
+    result = run_and_report(benchmark, "fig2a")
+    costs = _by(result.rows)
+    for dist in ("geometric", "normal", "uniform", "exponential", "poisson"):
+        assert costs[(dist, "RRW(mu)")] <= costs[(dist, "RRW")]
+        assert costs[(dist, "RRA(mu)")] <= costs[(dist, "RRA")]
+        assert costs[(dist, "OPT")] <= costs[(dist, "DET")]
+    # the unconstrained ratios materialize on the near-worst-case dists
+    ratio_rrw = costs[("uniform", "RRW")] / costs[("uniform", "OPT")]
+    assert 1.5 < ratio_rrw <= 2.05
+
+
+def test_fig2b_low_fixed_cost(benchmark):
+    """B=200 < mu=500: DET notably worse; RA beats RW throughout."""
+    result = run_and_report(benchmark, "fig2b")
+    costs = _by(result.rows)
+    for dist in ("uniform", "exponential"):
+        assert costs[(dist, "RRA")] < costs[(dist, "RRW")]
+        assert costs[(dist, "DET")] > costs[(dist, "OPT")] * 1.2
+
+
+def test_fig2c_worst_case_for_det(benchmark):
+    """Adversarial remaining times: DET pays 3x OPT (Theorem 4's lower
+    bound), the randomized policies keep their ratios."""
+    result = run_and_report(benchmark, "fig2c")
+    ratios = {r["policy"]: r["vs_OPT"] for r in result.rows}
+    assert ratios["DET"] == math.inf or abs(ratios["DET"] - 3.0) < 0.05
+    assert abs(ratios["RRW"] - 2.0) < 0.1
+    assert abs(ratios["RRA"] - math.e / (math.e - 1)) < 0.1

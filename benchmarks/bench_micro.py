@@ -1,0 +1,92 @@
+"""Micro-benchmarks: the hot paths, timed properly (multiple rounds).
+
+Unlike the experiment benches (one-shot artifact regeneration), these
+use pytest-benchmark's statistics to track the performance of the
+library's inner loops — the quantities a profiling pass would optimize:
+
+* policy sampling throughput (vectorized vs per-call),
+* the quadrature/expected-cost kernel,
+* the DES engine's event dispatch rate,
+* HTM machine simulation rate (cycles simulated per second).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.requestor_wins import MeanConstrainedRW, UniformRW
+from repro.core.verify import expected_cost_curve
+from repro.htm import Machine, MachineParams, RandDelay
+from repro.sim.engine import Simulator
+from repro.workloads import CounterWorkload
+
+B = 1000.0
+RW = ConflictModel(ConflictKind.REQUESTOR_WINS, B, 2)
+
+
+def test_sample_many_vectorized(benchmark):
+    """100k uniform delay draws (closed-form ppf path)."""
+    policy = UniformRW(B, 2)
+    rng = np.random.default_rng(1)
+    out = benchmark(policy.sample_many, 100_000, rng)
+    assert out.shape == (100_000,)
+
+
+def test_sample_many_grid_inversion(benchmark):
+    """100k draws through the numeric inverse-CDF grid (log density)."""
+    policy = MeanConstrainedRW(B, 100.0)
+    rng = np.random.default_rng(1)
+    out = benchmark(policy.sample_many, 100_000, rng)
+    assert out.shape == (100_000,)
+
+
+def test_expected_cost_curve_kernel(benchmark):
+    """Quadrature of E[cost] over a 512-point adversary grid."""
+    policy = MeanConstrainedRW(B, 100.0)
+    grid = np.linspace(1.0, B, 512)
+    out = benchmark(expected_cost_curve, policy, RW, grid)
+    assert out.shape == grid.shape
+
+
+def test_cost_vec_kernel(benchmark):
+    """1M vectorized cost-model evaluations."""
+    rng = np.random.default_rng(2)
+    delays = rng.random(1_000_000) * B
+    remaining = rng.random(1_000_000) * 2 * B
+    out = benchmark(RW.cost_vec, delays, remaining)
+    assert out.shape == delays.shape
+
+
+def test_event_dispatch_rate(benchmark):
+    """DES kernel: schedule-and-fire 20k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.after(1.0, tick, label="tick")
+
+        sim.after(1.0, tick, label="tick")
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_htm_simulation_rate(benchmark):
+    """Cycles-per-second of the full machine (4 cores, counter)."""
+
+    def run():
+        workload = CounterWorkload()
+        machine = Machine(MachineParams(n_cores=4), lambda i: RandDelay())
+        machine.load(workload, seed=1)
+        stats = machine.run(50_000.0)
+        workload.verify(machine)
+        return stats.ops_completed
+
+    ops = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert ops > 100

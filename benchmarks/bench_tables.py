@@ -1,0 +1,29 @@
+"""Benchmarks regenerating the analysis tables (Theorems 1-6 ratios and
+the Section 5.3 abort probabilities)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_tab_ratios(benchmark):
+    """Every closed-form competitive ratio must match the numeric
+    (quadrature + adversary-grid) evaluation."""
+    result = run_and_report(benchmark, "tab_ratios")
+    worst = max(r["rel_err"] for r in result.rows)
+    assert worst < 5e-3, f"worst closed-form/numeric mismatch {worst:.2e}"
+
+
+def test_tab_ratios_full_grid(benchmark):
+    """Full B x k grid (the 'table' as published)."""
+    result = run_and_report(benchmark, "tab_ratios", quick=False)
+    worst = max(r["rel_err"] for r in result.rows)
+    assert worst < 5e-3
+
+
+def test_tab_abort_prob(benchmark):
+    result = run_and_report(benchmark, "tab_abort_prob", quick=False)
+    for row in result.rows:
+        assert row["RA_less_likely"]
+        assert abs(row["P_abort_RW"] - row["paper_RW"]) < 0.5 / row["B"]
+        assert abs(row["P_abort_RA"] - row["paper_RA"]) < 0.5 / row["B"]

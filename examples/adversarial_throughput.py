@@ -1,0 +1,71 @@
+"""Corollary 1 live: adversarial scheduling vs the offline optimum.
+
+Builds a population of transactions, lets three adversaries inflict
+conflict schedules on them, and compares the online (uniform
+requestor-wins) sum of running times against the clairvoyant offline
+optimum — every measured ratio must sit under the paper's
+``(2w+1)/(w+1)`` bound.
+
+Run:  python examples/adversarial_throughput.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConflictKind,
+    ConflictLedgerArena,
+    ExponentialLengths,
+    PeriodicAdversary,
+    RandomAdversary,
+    TargetedAdversary,
+    UniformRW,
+)
+from repro.adversary.adversaries import make_transactions
+from repro.experiments.report import render_table
+from repro.rngutil import stream_for
+
+
+def main() -> None:
+    B = 250.0
+    n_threads, per_thread = 16, 300
+    lengths = ExponentialLengths(400.0)
+    arena = ConflictLedgerArena(
+        ConflictKind.REQUESTOR_WINS, B, lambda k: UniformRW(B, k)
+    )
+    adversaries = [
+        ("light random", RandomAdversary(0.2)),
+        ("heavy random + chains", RandomAdversary(
+            0.9, max_hits=3, chain_weights={2: 0.5, 3: 0.3, 6: 0.2}
+        )),
+        ("periodic mid-transaction", PeriodicAdversary(fractions=(0.5,))),
+        ("targeted at B", TargetedAdversary(threshold=B)),
+    ]
+    rows = []
+    for name, adversary in adversaries:
+        rng = stream_for(11, "example", name)
+        txns = make_transactions(n_threads, per_thread, lengths, rng)
+        schedule = adversary.build(txns, rng)
+        outcome = arena.run(schedule, rng)
+        rows.append(
+            {
+                "adversary": name,
+                "conflicts": outcome.n_conflicts,
+                "waste w(S)": round(outcome.waste, 3),
+                "measured ratio": round(outcome.ratio, 4),
+                "(2w+1)/(w+1) bound": round(outcome.corollary1_bound, 4),
+                "within bound": outcome.within_bound(slack=0.02),
+            }
+        )
+    print(
+        f"{n_threads} threads x {per_thread} transactions, B={B:g}, "
+        f"exponential lengths\n"
+    )
+    print(render_table(rows))
+    print(
+        "\nno adversary can push the online policy past the Corollary 1 "
+        "bound,\nand the bound itself never reaches 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

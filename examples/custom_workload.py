@@ -1,0 +1,151 @@
+"""Tutorial: write your own HTM workload.
+
+Builds a *shared histogram* workload from scratch — each transaction
+bumps two bins chosen from a Zipf-like distribution (hot head, long
+tail), a common pattern in real applications.  The walkthrough shows
+the full workload contract:
+
+1. allocate shared memory in ``setup`` (one line per bin);
+2. emit operation objects from ``next_op`` whose ``body`` generators
+   yield micro-ISA instructions (with lock subscription so the fast
+   path cooperates with the fallback lock);
+3. give operations a lock-based ``fallback`` for after repeated aborts;
+4. implement ``verify`` with an exact invariant — here, every committed
+   increment must be present in the final bins (torn transactions would
+   break the ledger).
+
+Run:  python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro import Machine, MachineParams, NoDelay, RandDelay
+from repro.experiments.report import render_table
+from repro.htm.isa import CAS, AbortTx, Compute, Fence, Read, Write
+from repro.workloads.base import Operation, OpContext, Workload
+
+
+class BumpOp(Operation):
+    """Increment two histogram bins atomically."""
+
+    name = "bump"
+
+    def __init__(self, workload: "HistogramWorkload", a: int, b: int) -> None:
+        self.workload = workload
+        self.a = a
+        self.b = b
+
+    def _bump(self) -> Generator:
+        w = self.workload
+        for bin_idx in (self.a, self.b):
+            value = yield Read(w.bin_addr[bin_idx])
+            yield Compute(w.work_cycles)
+            yield Write(w.bin_addr[bin_idx], value + 1)
+        return (self.a, self.b)
+
+    def body(self, ctx: OpContext) -> Generator:
+        lock = yield Read(self.workload.lock_addr)  # lock subscription
+        if lock != 0:
+            yield AbortTx()
+        result = yield from self._bump()
+        return result
+
+    def has_fallback(self) -> bool:
+        return True
+
+    def fallback(self, ctx: OpContext) -> Generator:
+        w = self.workload
+        while True:  # test-and-CAS global lock
+            held = yield Read(w.lock_addr)
+            if held != 0:
+                yield Fence()
+                continue
+            ok, _ = yield CAS(w.lock_addr, 0, ctx.core_id + 1)
+            if ok:
+                break
+            yield Fence()
+        result = yield from self._bump()
+        yield Write(w.lock_addr, 0)
+        return result
+
+    def on_commit(self, machine, core_id, result) -> None:
+        a, b = result
+        self.workload.committed_bumps[a] += 1
+        self.workload.committed_bumps[b] += 1
+
+
+class HistogramWorkload(Workload):
+    """Zipf-skewed two-bin increments over ``n_bins`` shared bins."""
+
+    name = "histogram"
+
+    def __init__(self, *, n_bins: int = 32, skew: float = 1.2, work_cycles: int = 30):
+        self.n_bins = n_bins
+        self.work_cycles = work_cycles
+        ranks = np.arange(1, n_bins + 1, dtype=float)
+        weights = ranks**-skew
+        self.probs = weights / weights.sum()
+        self.bin_addr: list[int] = []
+        self.lock_addr = -1
+        self.committed_bumps = [0] * n_bins
+
+    def setup(self, machine) -> None:
+        self.bin_addr = [machine.alloc(1) for _ in range(self.n_bins)]
+        self.lock_addr = machine.alloc(1)
+        self.committed_bumps = [0] * self.n_bins
+        for addr in self.bin_addr:
+            machine.poke(addr, 0)
+        machine.poke(self.lock_addr, 0)
+
+    def next_op(self, core_id: int, rng: np.random.Generator) -> Operation:
+        a, b = rng.choice(self.n_bins, size=2, replace=False, p=self.probs)
+        return BumpOp(self, int(a), int(b))
+
+    def tuned_delay_cycles(self, params) -> int:
+        remote = 2 * params.hop + params.dir_lookup + params.l1_hit
+        return 2 * (self.work_cycles + remote) + params.commit_cycles
+
+    def verify(self, machine) -> None:
+        for i, addr in enumerate(self.bin_addr):
+            self._require(
+                machine.peek(addr) == self.committed_bumps[i],
+                f"bin {i}: value {machine.peek(addr)} != committed "
+                f"{self.committed_bumps[i]} (torn transaction)",
+            )
+
+
+def main() -> None:
+    rows = []
+    for name, factory in [
+        ("NO_DELAY", lambda i: NoDelay()),
+        ("DELAY_RAND", lambda i: RandDelay()),
+    ]:
+        workload = HistogramWorkload()
+        machine = Machine(MachineParams(n_cores=8), factory)
+        machine.load(workload, seed=5)
+        stats = machine.run(200_000.0)
+        workload.verify(machine)  # the ledger must balance exactly
+        hottest = max(workload.committed_bumps)
+        rows.append(
+            {
+                "policy": name,
+                "ops": stats.ops_completed,
+                "abort_rate": round(stats.abort_rate, 3),
+                "hottest_bin_hits": hottest,
+            }
+        )
+    print("custom shared-histogram workload, 8 cores, Zipf-skewed bins\n")
+    print(render_table(rows))
+    print(
+        "\nthe skewed head bin behaves like the stack's TOP line; the "
+        "long tail like the\ntransactional app — and the ledger check "
+        "proves atomicity for both policies."
+    )
+
+
+if __name__ == "__main__":
+    main()

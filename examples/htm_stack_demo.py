@@ -1,0 +1,57 @@
+"""Drive the HTM machine simulator on a contended stack.
+
+Runs the same workload under stock requestor-wins (NO_DELAY) and under
+the paper's uniform randomized grace periods (DELAY_RAND), printing the
+machine-level statistics that explain the throughput difference, and
+verifies the stack's logical consistency afterwards (every pop matched
+to a push, final chain exact).
+
+Run:  python examples/htm_stack_demo.py [n_cores]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Machine, MachineParams, NoDelay, RandDelay, StackWorkload
+from repro.experiments.report import render_table
+
+
+def run_once(n_cores: int, policy_name: str, policy_factory) -> dict:
+    params = MachineParams(n_cores=n_cores)
+    workload = StackWorkload()
+    machine = Machine(params, policy_factory)
+    machine.load(workload, seed=7)
+    stats = machine.run(400_000.0)
+    workload.verify(machine)  # raises on any atomicity violation
+    machine.check_invariants()
+    reasons = stats.abort_reasons()
+    return {
+        "policy": policy_name,
+        "ops/s (Mops)": round(
+            stats.throughput_ops_per_sec(params.clock_ghz) / 1e6, 2
+        ),
+        "commits": stats.tx_committed,
+        "aborts": stats.tx_aborted,
+        "abort_rate": round(stats.abort_rate, 3),
+        "graces_timed_out": reasons.get("conflict_timeout", 0),
+        "wedged": reasons.get("wedged", 0),
+        "fallback_ops": stats.total("fallback_ops"),
+    }
+
+
+def main(n_cores: int = 8) -> None:
+    print(f"transactional stack, {n_cores} cores, 400k cycles\n")
+    rows = [
+        run_once(n_cores, "NO_DELAY", lambda i: NoDelay()),
+        run_once(n_cores, "DELAY_RAND", lambda i: RandDelay()),
+    ]
+    print(render_table(rows))
+    print(
+        "\nboth runs passed the linearizability surrogate checks "
+        "(push/pop matching + final-chain reconstruction)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,99 @@
+"""Closing the profiler loop: adaptive mean-constrained grace periods.
+
+Section 5.2 motivates the mean-constrained policies with a profiler
+that records the empirical mean of successful executions.  Here the
+profiler runs *inside* the machine: `AdaptiveDelay` starts out as the
+unconstrained uniform optimum and, as commits accumulate, switches to
+the Theorem 5/6 mean-constrained densities built from the live estimate.
+
+The example traces the estimate's convergence and compares end-to-end
+throughput against the static policies.
+
+Run:  python examples/online_profiler.py
+"""
+
+from __future__ import annotations
+
+from repro import Machine, MachineParams
+from repro.experiments.report import render_table
+from repro.htm import NoDelay, RandDelay, TunedDelay
+from repro.htm.profiler import AdaptiveDelay, CommitProfiler
+from repro.workloads import TxAppWorkload
+
+
+def run_adaptive(n_cores: int = 8, horizon: float = 300_000.0):
+    profiler = CommitProfiler()
+    machine = Machine(
+        MachineParams(n_cores=n_cores), lambda i: AdaptiveDelay(profiler)
+    )
+    machine.commit_observers.append(profiler.observe_commit)
+    workload = TxAppWorkload(work_cycles=100)
+    machine.load(workload, seed=11)
+
+    # sample the estimate as the run progresses
+    checkpoints = []
+
+    def snapshot(at):
+        checkpoints.append(
+            {
+                "cycles": int(at),
+                "commits": profiler.n,
+                "mu_hat": round(profiler.mu_estimate(), 1)
+                if profiler.n
+                else float("nan"),
+            }
+        )
+
+    for at in (5_000.0, 25_000.0, 100_000.0, horizon - 1):
+        machine.sim.at(at, snapshot, at)
+    stats = machine.run(horizon)
+    workload.verify(machine)
+    return stats, checkpoints
+
+
+def run_static(factory, n_cores: int = 8, horizon: float = 300_000.0):
+    machine = Machine(MachineParams(n_cores=n_cores), factory)
+    workload = TxAppWorkload(work_cycles=100)
+    machine.load(workload, seed=11)
+    stats = machine.run(horizon)
+    workload.verify(machine)
+    return stats
+
+
+def main() -> None:
+    stats_adaptive, checkpoints = run_adaptive()
+    print("profiler convergence:")
+    print(render_table(checkpoints))
+    print()
+
+    params = MachineParams(n_cores=8)
+    tuned = TxAppWorkload(work_cycles=100).tuned_delay_cycles(params)
+    rows = [
+        {
+            "policy": "ADAPTIVE (online mu)",
+            "ops": stats_adaptive.ops_completed,
+            "abort_rate": round(stats_adaptive.abort_rate, 3),
+        }
+    ]
+    for name, factory in [
+        ("NO_DELAY", lambda i: NoDelay()),
+        ("DELAY_RAND (no mu)", lambda i: RandDelay()),
+        (f"DELAY_TUNED ({tuned} cyc, offline)", lambda i: TunedDelay(tuned)),
+    ]:
+        stats = run_static(factory)
+        rows.append(
+            {
+                "policy": name,
+                "ops": stats.ops_completed,
+                "abort_rate": round(stats.abort_rate, 3),
+            }
+        )
+    print(render_table(rows, title="transactional app, 8 cores, 300k cycles"))
+    print(
+        "\nthe adaptive policy needs no offline tuning pass and lands in "
+        "the same band\nas the hand-tuned delay once its estimate converges."
+    )
+
+
+if __name__ == "__main__":
+    main()

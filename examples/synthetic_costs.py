@@ -1,0 +1,54 @@
+"""Figure 2-style synthetic cost comparison on custom parameters.
+
+Sweeps the six Figure 2 strategies over the five paper distributions at
+a B/µ point of your choosing, printing mean conflict costs and an ASCII
+sketch of the bars.
+
+Run:  python examples/synthetic_costs.py [B] [mu]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SyntheticHarness, get_distribution
+from repro.experiments.report import ascii_bars, render_table
+
+
+def main(B: float = 800.0, mu: float = 500.0, trials: int = 100_000) -> None:
+    print(f"synthetic testbed: B={B:g}, mu={mu:g}, {trials:,} trials/dist\n")
+    harness = SyntheticHarness(B, mu)
+    rows = []
+    for name in ("geometric", "normal", "uniform", "exponential", "poisson"):
+        dist = get_distribution(name, mu)
+        result = harness.run(dist, trials, rng=42)
+        for label, acc in result.stats.items():
+            rows.append(
+                {
+                    "distribution": name,
+                    "policy": label,
+                    "mean_cost": round(acc.mean, 1),
+                    "vs_OPT": round(acc.mean / result.mean_cost("OPT"), 3),
+                }
+            )
+        if name == "exponential":
+            print("exponential lengths, cost bars:")
+            ordered = result.as_rows()
+            print(
+                ascii_bars(
+                    [label for label, *_ in ordered],
+                    [mean for _, mean, _ in ordered],
+                )
+            )
+            print()
+    print(render_table(rows, title="mean conflict cost per policy"))
+    print(
+        "\nreading guide: with B >> mu the deterministic policy almost "
+        "never aborts\nand tracks OPT; with B < mu the requestor-aborts "
+        "policies win (Fig 2a vs 2b)."
+    )
+
+
+if __name__ == "__main__":
+    args = [float(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,9 @@
+"""Legacy shim so ``pip install -e .`` works offline (no `wheel` package
+is available in this environment, so the PEP-517 editable path fails
+with `invalid command 'bdist_wheel'`; the legacy path does not need it).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

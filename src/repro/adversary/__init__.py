@@ -1,0 +1,29 @@
+"""Adversarial conflict scheduling and throughput competitiveness
+(Section 6, Corollaries 1 and 2)."""
+
+from __future__ import annotations
+
+from repro.adversary.schedule import Conflict, ConflictSchedule, Transaction
+from repro.adversary.adversaries import (
+    Adversary,
+    PeriodicAdversary,
+    RandomAdversary,
+    TargetedAdversary,
+)
+from repro.adversary.arena import ArenaOutcome, ConflictLedgerArena, TimedArena
+from repro.adversary.throughput_arena import ThroughputArena, ThroughputTrace
+
+__all__ = [
+    "Transaction",
+    "Conflict",
+    "ConflictSchedule",
+    "Adversary",
+    "RandomAdversary",
+    "PeriodicAdversary",
+    "TargetedAdversary",
+    "ConflictLedgerArena",
+    "TimedArena",
+    "ArenaOutcome",
+    "ThroughputArena",
+    "ThroughputTrace",
+]

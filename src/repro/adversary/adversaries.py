@@ -1,0 +1,216 @@
+"""Adversary strategies — generators of conflict schedules.
+
+Each adversary builds a :class:`~repro.adversary.schedule.ConflictSchedule`
+over a population of transactions.  Three personalities cover the
+experimental needs:
+
+* :class:`RandomAdversary` — conflicts strike a transaction with a
+  fixed probability, at a uniformly random progress point (a neutral
+  contention model).
+* :class:`PeriodicAdversary` — every transaction is conflicted at fixed
+  progress fractions (stable, profiler-friendly contention).
+* :class:`TargetedAdversary` — conflicts land just after the point
+  where the receiver's remaining work equals the policy's abort
+  threshold, the most damaging placement against deterministic
+  policies (the Figure 2c adversary lifted to the arena).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.adversary.schedule import Conflict, ConflictSchedule, Transaction
+from repro.distributions.base import LengthDistribution
+from repro.errors import InvalidParameterError
+from repro.rngutil import ensure_rng
+
+__all__ = [
+    "Adversary",
+    "RandomAdversary",
+    "PeriodicAdversary",
+    "TargetedAdversary",
+    "make_transactions",
+]
+
+
+def make_transactions(
+    n_threads: int,
+    per_thread: int,
+    lengths: LengthDistribution,
+    rng: np.random.Generator | int | None = None,
+) -> list[Transaction]:
+    """Build the transaction population: ``per_thread`` transactions on
+    each of ``n_threads`` threads with i.i.d. commit costs."""
+    if n_threads < 2:
+        raise InvalidParameterError(
+            f"need >= 2 threads for conflicts, got {n_threads}"
+        )
+    if per_thread < 1:
+        raise InvalidParameterError(f"per_thread must be >= 1, got {per_thread}")
+    gen = ensure_rng(rng)
+    rho = lengths.sample(n_threads * per_thread, gen)
+    return [
+        Transaction(thread=t, index=i, rho=float(rho[t * per_thread + i]))
+        for t in range(n_threads)
+        for i in range(per_thread)
+    ]
+
+
+class Adversary(abc.ABC):
+    """Interface: turn a transaction population into a schedule."""
+
+    name: str = "adversary"
+
+    @abc.abstractmethod
+    def build(
+        self,
+        transactions: list[Transaction],
+        rng: np.random.Generator | int | None = None,
+    ) -> ConflictSchedule:
+        """Generate (and validate) a conflict schedule."""
+
+    @staticmethod
+    def _other_thread(
+        thread: int, n_threads: int, rng: np.random.Generator
+    ) -> int:
+        """Uniform requestor thread different from ``thread``."""
+        other = int(rng.integers(0, n_threads - 1))
+        return other if other < thread else other + 1
+
+
+class RandomAdversary(Adversary):
+    """Independent conflicts: each transaction is conflicted with
+    probability ``p_conflict`` per potential hit (up to ``max_hits``),
+    at uniformly random progress, with chain size drawn from
+    ``chain_weights``."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        p_conflict: float = 0.5,
+        *,
+        max_hits: int = 1,
+        chain_weights: dict[int, float] | None = None,
+    ) -> None:
+        if not 0.0 <= p_conflict <= 1.0:
+            raise InvalidParameterError(f"p_conflict in [0,1], got {p_conflict}")
+        if max_hits < 1:
+            raise InvalidParameterError(f"max_hits must be >= 1, got {max_hits}")
+        self.p_conflict = p_conflict
+        self.max_hits = max_hits
+        weights = chain_weights or {2: 1.0}
+        if any(k < 2 for k in weights) or any(w < 0 for w in weights.values()):
+            raise InvalidParameterError(f"bad chain weights {weights!r}")
+        total = sum(weights.values())
+        if total <= 0:
+            raise InvalidParameterError("chain weights must sum > 0")
+        self.chain_sizes = np.asarray(sorted(weights), dtype=int)
+        self.chain_probs = np.asarray(
+            [weights[k] / total for k in sorted(weights)], dtype=float
+        )
+
+    def build(self, transactions, rng=None) -> ConflictSchedule:
+        gen = ensure_rng(rng)
+        n_threads = 1 + max(t.thread for t in transactions)
+        schedule = ConflictSchedule(transactions=list(transactions))
+        for txn in transactions:
+            used: set[float] = set()
+            for _ in range(self.max_hits):
+                if gen.random() >= self.p_conflict:
+                    continue
+                # remaining uniform in (0, rho]
+                remaining = float((1.0 - gen.random()) * txn.rho)
+                if remaining in used:
+                    continue
+                used.add(remaining)
+                k = int(gen.choice(self.chain_sizes, p=self.chain_probs))
+                schedule.conflicts.append(
+                    Conflict(
+                        receiver=txn,
+                        remaining=remaining,
+                        k=k,
+                        requestor_thread=self._other_thread(
+                            txn.thread, n_threads, gen
+                        ),
+                    )
+                )
+        schedule.validate()
+        return schedule
+
+
+class PeriodicAdversary(Adversary):
+    """Conflict every transaction at fixed progress fractions."""
+
+    name = "periodic"
+
+    def __init__(self, fractions: tuple[float, ...] = (0.5,), k: int = 2) -> None:
+        if not fractions or any(not 0.0 <= f < 1.0 for f in fractions):
+            raise InvalidParameterError(
+                f"fractions must be in [0, 1), got {fractions!r}"
+            )
+        if len(set(fractions)) != len(fractions):
+            raise InvalidParameterError("fractions must be distinct")
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        self.fractions = tuple(sorted(fractions))
+        self.k = k
+
+    def build(self, transactions, rng=None) -> ConflictSchedule:
+        gen = ensure_rng(rng)
+        n_threads = 1 + max(t.thread for t in transactions)
+        schedule = ConflictSchedule(transactions=list(transactions))
+        for txn in transactions:
+            for frac in self.fractions:
+                schedule.conflicts.append(
+                    Conflict(
+                        receiver=txn,
+                        remaining=txn.rho * (1.0 - frac),
+                        k=self.k,
+                        requestor_thread=self._other_thread(
+                            txn.thread, n_threads, gen
+                        ),
+                    )
+                )
+        schedule.validate()
+        return schedule
+
+
+class TargetedAdversary(Adversary):
+    """Place each conflict where the remaining time just exceeds a
+    target threshold (e.g. the DET abort point ``B/(k-1)``), clamped
+    into the transaction; maximally punishes deterministic delays."""
+
+    name = "targeted"
+
+    def __init__(self, threshold: float, *, overshoot: float = 1.01, k: int = 2) -> None:
+        if threshold <= 0:
+            raise InvalidParameterError(f"threshold must be > 0, got {threshold}")
+        if overshoot <= 1.0:
+            raise InvalidParameterError(f"overshoot must exceed 1, got {overshoot}")
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        self.threshold = threshold
+        self.overshoot = overshoot
+        self.k = k
+
+    def build(self, transactions, rng=None) -> ConflictSchedule:
+        gen = ensure_rng(rng)
+        n_threads = 1 + max(t.thread for t in transactions)
+        schedule = ConflictSchedule(transactions=list(transactions))
+        for txn in transactions:
+            remaining = min(self.threshold * self.overshoot, txn.rho)
+            schedule.conflicts.append(
+                Conflict(
+                    receiver=txn,
+                    remaining=float(remaining),
+                    k=self.k,
+                    requestor_thread=self._other_thread(
+                        txn.thread, n_threads, gen
+                    ),
+                )
+            )
+        schedule.validate()
+        return schedule

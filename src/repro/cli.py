@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro --list
+    python -m repro fig2a tab_ratios
+    python -m repro all --quick
+    python -m repro fig3_stack --seed 7 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, render_result, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'The Transactional "
+            "Conflict Problem' (SPAA 2018)"
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (or 'all'); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced trial counts / horizons (CI mode)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to also write one <id>.txt report per experiment",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --out, additionally write <id>.json (rows + params) "
+        "for downstream plotting",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        for exp_id, title in sorted(EXPERIMENTS.items()):
+            print(f"{exp_id:16s} {title}")
+        return 0
+    ids = list(args.experiments)
+    if ids == ["all"]:
+        ids = sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use --list to see available ids", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for exp_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(exp_id, quick=args.quick, seed=args.seed)
+        text = render_result(result)
+        elapsed = time.perf_counter() - start
+        print(text)
+        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            (args.out / f"{exp_id}.txt").write_text(text + "\n")
+            if args.json:
+                payload = {
+                    "exp_id": result.exp_id,
+                    "title": result.title,
+                    "params": {k: repr(v) for k, v in result.params.items()},
+                    "rows": result.rows,
+                    "notes": result.notes,
+                }
+                (args.out / f"{exp_id}.json").write_text(
+                    json.dumps(payload, indent=2, default=str) + "\n"
+                )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Progress guarantees via abort-cost backoff (Section 7, Corollary 2).
+
+The pure throughput-optimal policies never let a transaction whose
+remaining time exceeds ``B/(k-1)`` survive a conflict, so a long
+transaction under sustained contention can starve.  The paper's fix:
+grow the transaction's *own* abort cost ``B`` after every abort
+(multiplicatively, i.e. doubling), making it progressively harder to
+kill.  Corollary 2 then guarantees commit within
+
+    log2(y) + log2(gamma) + log2(k) - log2(B) + 2
+
+attempts with probability >= 1/2, for a transaction of running time
+``y`` that meets ``gamma`` conflicts per execution.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.policy import DelayPolicy
+from repro.errors import InvalidParameterError
+from repro.rngutil import ensure_rng
+
+__all__ = ["BackoffPolicy", "progress_attempt_bound", "progress_probability_lb"]
+
+
+class BackoffPolicy(DelayPolicy):
+    """Wrap a policy *family* with per-transaction abort-cost growth.
+
+    Parameters
+    ----------
+    policy_factory:
+        Callable ``B -> DelayPolicy`` building the conflict policy for a
+        given abort cost (e.g. ``lambda B: UniformRW(B, k)``).
+    B0:
+        Initial abort cost.
+    factor:
+        Multiplicative growth per abort (paper analyzes 2.0).
+    increment:
+        Additive growth per abort (the paper's "additive amount"
+        alternative); applied after the multiplicative factor.
+    max_B:
+        Optional ceiling to keep delays bounded in long simulations.
+
+    The wrapper holds mutable per-transaction state; create one instance
+    per logical transaction (the arena and HTM layers do).
+    """
+
+    def __init__(
+        self,
+        policy_factory,
+        B0: float,
+        *,
+        factor: float = 2.0,
+        increment: float = 0.0,
+        max_B: float = math.inf,
+    ) -> None:
+        if B0 <= 0 or not math.isfinite(B0):
+            raise InvalidParameterError(f"B0 must be finite and positive, got {B0}")
+        if factor < 1.0:
+            raise InvalidParameterError(f"factor must be >= 1, got {factor}")
+        if increment < 0.0:
+            raise InvalidParameterError(f"increment must be >= 0, got {increment}")
+        if factor == 1.0 and increment == 0.0:
+            raise InvalidParameterError(
+                "backoff needs factor > 1 or increment > 0 (otherwise use the "
+                "base policy directly)"
+            )
+        self._factory = policy_factory
+        self.B0 = float(B0)
+        self.factor = float(factor)
+        self.increment = float(increment)
+        self.max_B = float(max_B)
+        self._B = float(B0)
+        self._inner = policy_factory(self._B)
+        self.aborts = 0
+        self.name = f"BACKOFF[{self._inner.name}]"
+
+    # -- state machine ----------------------------------------------------
+    @property
+    def current_B(self) -> float:
+        """The abort cost currently in force for this transaction."""
+        return self._B
+
+    def record_abort(self) -> None:
+        """Grow B after the wrapped transaction aborted."""
+        self.aborts += 1
+        self._B = min(self._B * self.factor + self.increment, self.max_B)
+        self._inner = self._factory(self._B)
+
+    def record_commit(self) -> None:
+        """Reset to the base cost once the transaction commits."""
+        self.aborts = 0
+        self._B = self.B0
+        self._inner = self._factory(self._B)
+
+    # -- DelayPolicy interface (delegates to the current inner policy) ----
+    def sample(self, rng: np.random.Generator | int | None = None) -> float:
+        return self._inner.sample(ensure_rng(rng))
+
+    def sample_many(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        return self._inner.sample_many(n, ensure_rng(rng))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return self._inner.support
+
+    def cdf(self, x: float) -> float:
+        return self._inner.cdf(x)
+
+    def pdf(self, x: float) -> float:
+        return self._inner.pdf(x)
+
+    def is_deterministic(self) -> bool:
+        return self._inner.is_deterministic()
+
+
+def progress_attempt_bound(y: float, gamma: int, k: int, B: float) -> int:
+    """Corollary 2 attempt bound:
+    ``ceil(log2 y + log2 gamma + log2 k - log2 B + 2)`` (>= 1).
+
+    After this many attempts with doubling backoff, a transaction of
+    running time ``y`` facing ``gamma`` conflicts per execution commits
+    with probability at least 1/2.
+    """
+    if y <= 0 or gamma < 1 or k < 2 or B <= 0:
+        raise InvalidParameterError(
+            f"need y > 0, gamma >= 1, k >= 2, B > 0; got "
+            f"y={y}, gamma={gamma}, k={k}, B={B}"
+        )
+    raw = math.log2(y) + math.log2(gamma) + math.log2(k) - math.log2(B) + 2.0
+    return max(1, math.ceil(raw))
+
+
+def progress_probability_lb(y: float, gamma: int, k: int, B_current: float) -> float:
+    """Per-execution commit-probability lower bound used in the
+    Corollary 2 proof: once ``B' >= 2*k*y*gamma``, each conflict is
+    survived w.p. ``>= 1 - 1/(2 gamma)``, so a full execution commits
+    w.p. ``>= (1 - 1/(2 gamma))^gamma >= 1/2``.
+
+    Returns the conservative bound ``max(0, (1 - y(k-1)/B')^gamma)``.
+    """
+    if y <= 0 or gamma < 1 or k < 2 or B_current <= 0:
+        raise InvalidParameterError("invalid progress-bound parameters")
+    # per-conflict survival = (B'/(k-1) - y) / (B'/(k-1)) for the uniform
+    # requestor-wins policy; simplifies to 1 - y(k-1)/B'.
+    per_conflict = 1.0 - y * (k - 1) / B_current
+    if per_conflict <= 0.0:
+        return 0.0
+    return per_conflict**gamma

@@ -1,0 +1,74 @@
+"""The offline optimum — a clairvoyant policy with foresight.
+
+``OPT`` knows the receiver's remaining time ``D`` at conflict time and
+therefore makes the perfect choice: let the receiver run iff
+``(k-1) * D <= B``.  It exists to calibrate experiments (the ``OPT``
+series in Figure 2) and to drive the offline side of the Corollary 1
+arena; it is *not* implementable online.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.model import ConflictModel
+from repro.core.policy import DelayPolicy
+from repro.errors import InvalidParameterError
+
+__all__ = ["ClairvoyantPolicy"]
+
+
+class ClairvoyantPolicy(DelayPolicy):
+    """Offline optimal decision rule (perfect information).
+
+    Unlike online policies, sampling a delay requires the remaining time
+    ``D``; use :meth:`decide` (the plain :meth:`sample` interface raises,
+    to catch accidental use as an online policy).
+    """
+
+    name = "OPT"
+
+    def __init__(self, model: ConflictModel) -> None:
+        if not isinstance(model, ConflictModel):
+            raise InvalidParameterError(f"model must be a ConflictModel, got {model!r}")
+        self.model = model
+
+    def decide(self, remaining: float) -> float:
+        """Optimal delay given the true remaining time.
+
+        Returns ``remaining`` (wait out the commit) when that is cheaper
+        than an immediate abort, else 0.
+        """
+        if remaining < 0 or not math.isfinite(remaining):
+            raise InvalidParameterError(
+                f"remaining must be finite and >= 0, got {remaining}"
+            )
+        if self.model.waiters * remaining <= self.model.B:
+            return remaining
+        return 0.0
+
+    def decide_vec(self, remaining: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`decide`."""
+        d = np.asarray(remaining, dtype=float)
+        return np.where(self.model.waiters * d <= self.model.B, d, 0.0)
+
+    def cost(self, remaining: float) -> float:
+        """The cost OPT actually pays: ``min((k-1)D, B)``."""
+        return self.model.opt(remaining)
+
+    # -- DelayPolicy interface (guarded) ---------------------------------
+    def sample(self, rng=None) -> float:
+        raise NotImplementedError(
+            "ClairvoyantPolicy needs the remaining time; call decide(D)"
+        )
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (0.0, self.model.delay_cap)
+
+    def cdf(self, x: float) -> float:
+        raise NotImplementedError(
+            "ClairvoyantPolicy has no unconditional delay distribution"
+        )

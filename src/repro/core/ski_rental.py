@@ -1,0 +1,120 @@
+"""The classic ski-rental problem (Section 3.3) as a standalone model.
+
+The requestor-aborts conflict problem reduces to ski rental, so this
+module provides the textbook problem on its own terms — rent-vs-buy
+with day-indexed costs — both to document the reduction and to let
+tests validate our continuous policies against the discrete classic.
+
+Mapping (Section 4.2): the conflict moment is day 1; the receiver's
+remaining time ``D`` is the day the tour ends; delaying the requestor
+for ``x`` steps is buying on day ``x + 1``; the abort cost ``B`` is the
+ski price.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.rngutil import ensure_rng
+
+__all__ = [
+    "SkiRental",
+    "deterministic_buy_day",
+    "karlin_pmf",
+    "expected_cost_randomized",
+    "optimal_offline_cost",
+]
+
+
+@dataclass(frozen=True)
+class SkiRental:
+    """A ski-rental instance: price ``B`` (integer days), rent cost 1/day."""
+
+    B: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.B, int) or isinstance(self.B, bool) or self.B < 1:
+            raise InvalidParameterError(f"B must be an integer >= 1, got {self.B!r}")
+
+    def cost(self, buy_day: int, days: int) -> int:
+        """Total cost when buying at the start of ``buy_day`` and skiing
+        for ``days`` days.  Renting covers days ``1 .. buy_day - 1``.
+
+        ``buy_day > days`` means we never buy (pure rental).
+        """
+        if buy_day < 1 or days < 0:
+            raise InvalidParameterError(
+                f"need buy_day >= 1 and days >= 0, got {buy_day}, {days}"
+            )
+        if buy_day > days:
+            return days
+        return (buy_day - 1) + self.B
+
+    def offline_cost(self, days: int) -> int:
+        """``min(days, B)`` — buy on day 1 iff the tour is long."""
+        if days < 0:
+            raise InvalidParameterError(f"days must be >= 0, got {days}")
+        return min(days, self.B)
+
+
+def deterministic_buy_day(B: int) -> int:
+    """The 2-competitive deterministic rule: rent ``B - 1`` days, buy on
+    day ``B`` (cost at most ``2B - 1``)."""
+    SkiRental(B)  # validate
+    return B
+
+
+def karlin_pmf(B: int) -> np.ndarray:
+    """Theorem 1's optimal randomized buy-day distribution.
+
+    ``p(i) = ((B-1)/B)^{B-i} / (B(1 - (1 - 1/B)^B))`` for days
+    ``i = 1..B`` (index 0 of the returned array is day 1).
+    """
+    SkiRental(B)
+    q = (B - 1) / B
+    weights = q ** np.arange(B - 1, -1, -1, dtype=float)
+    return weights / weights.sum()
+
+
+def expected_cost_randomized(B: int, days: int) -> float:
+    """Exact expected cost of the Theorem 1 strategy for a ``days``-day
+    tour: sum over buy days of ``pmf * cost``.
+
+    Tests check ``expected_cost_randomized(B, D) <= (e/(e-1))
+    min(D, B)`` up to the discrete ratio ``1/(1-(1-1/B)^B)``.
+    """
+    inst = SkiRental(B)
+    if days < 0:
+        raise InvalidParameterError(f"days must be >= 0, got {days}")
+    pmf = karlin_pmf(B)
+    buy_days = np.arange(1, B + 1)
+    costs = np.where(buy_days > days, float(days), buy_days - 1.0 + inst.B)
+    return float(np.dot(pmf, costs))
+
+
+def optimal_offline_cost(B: int, days: int) -> int:
+    """``min(days, B)`` as a free function (mirrors the paper's OPT)."""
+    return SkiRental(B).offline_cost(days)
+
+
+def sample_buy_day(B: int, rng: np.random.Generator | int | None = None) -> int:
+    """Draw a buy day from the Theorem 1 distribution (1-indexed)."""
+    gen = ensure_rng(rng)
+    pmf = karlin_pmf(B)
+    return int(np.searchsorted(np.cumsum(pmf), gen.random(), side="right")) + 1
+
+
+def discrete_competitive_ratio(B: int) -> float:
+    """The exact ratio of the Theorem 1 strategy:
+    ``1 / (1 - (1 - 1/B)^B)`` (-> ``e/(e-1)`` as ``B -> inf``)."""
+    SkiRental(B)
+    return float(1.0 / (1.0 - ((B - 1) / B) ** B)) if B > 1 else 1.0
+
+
+def continuous_ratio_limit() -> float:
+    """``e/(e-1)`` — the large-B limit of the randomized ratio."""
+    return math.e / (math.e - 1.0)

@@ -1,0 +1,41 @@
+"""Transaction-length distributions for the synthetic testbed.
+
+Section 8.1 benchmarks the policies against Geometric, Normal, Uniform,
+Exponential and Poisson length distributions; this package implements
+those (seeded, vectorized) plus the adversarial distributions used for
+Figure 2c and the bimodal lengths of the Figure 3 application.
+"""
+
+from __future__ import annotations
+
+from repro.distributions.base import LengthDistribution, DISTRIBUTION_REGISTRY, get_distribution
+from repro.distributions.standard import (
+    BimodalLengths,
+    DeterministicLengths,
+    ExponentialLengths,
+    GeometricLengths,
+    NormalLengths,
+    PoissonLengths,
+    UniformLengths,
+)
+from repro.distributions.adversarial import (
+    PointMassRemaining,
+    WorstCaseForDeterministic,
+    MixtureLengths,
+)
+
+__all__ = [
+    "LengthDistribution",
+    "DISTRIBUTION_REGISTRY",
+    "get_distribution",
+    "GeometricLengths",
+    "NormalLengths",
+    "UniformLengths",
+    "ExponentialLengths",
+    "PoissonLengths",
+    "DeterministicLengths",
+    "BimodalLengths",
+    "PointMassRemaining",
+    "WorstCaseForDeterministic",
+    "MixtureLengths",
+]

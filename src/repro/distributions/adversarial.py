@@ -1,0 +1,124 @@
+"""Adversarial length distributions (Figure 2c and stress tests).
+
+The deterministic requestor-wins policy aborts at exactly ``B/(k-1)``;
+its worst adversary makes the remaining time land just *past* that
+point, forcing the full ``kx + B`` loss where OPT pays ``B``
+(Theorem 4's ``D = x`` argument).  :class:`WorstCaseForDeterministic`
+realizes that adversary inside the synthetic harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import LengthDistribution
+from repro.errors import InvalidParameterError
+from repro.rngutil import ensure_rng
+
+__all__ = ["PointMassRemaining", "WorstCaseForDeterministic", "MixtureLengths"]
+
+
+class PointMassRemaining(LengthDistribution):
+    """All mass at a single length (for exact-cost unit tests)."""
+
+    name = "point"
+
+    def __init__(self, value: float) -> None:
+        self.value = self._check_mean(value)
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        return np.full(n, self.value)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+class WorstCaseForDeterministic(LengthDistribution):
+    """Remaining time concentrated just above DET's abort point.
+
+    Lengths are drawn so the *remaining* time at the (uniform) interrupt
+    sits in a narrow band ``[x*, (1 + width) x*]`` past the deterministic
+    abort point ``x* = B/(k-1)`` with probability ``p_evil``; otherwise a
+    benign uniform length is used so the distribution is not a pure
+    point mass (matching Figure 2c's "worst-case distribution" framing).
+
+    Used with the harness's direct-remaining mode (the adversary chooses
+    ``D`` itself, as the lower-bound argument in Theorem 4 does).
+    """
+
+    name = "det-worst"
+
+    def __init__(
+        self,
+        B: float,
+        k: int = 2,
+        *,
+        width: float = 0.01,
+        p_evil: float = 1.0,
+        benign_mean: float | None = None,
+    ) -> None:
+        if B <= 0:
+            raise InvalidParameterError(f"B must be positive, got {B}")
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        if width <= 0:
+            raise InvalidParameterError(f"width must be positive, got {width}")
+        if not 0.0 < p_evil <= 1.0:
+            raise InvalidParameterError(f"p_evil must be in (0,1], got {p_evil}")
+        self.B = float(B)
+        self.k = k
+        self.width = float(width)
+        self.p_evil = float(p_evil)
+        self.x_star = self.B / (k - 1)
+        self.benign_mean = (
+            self.x_star / 2.0 if benign_mean is None else float(benign_mean)
+        )
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        evil = gen.random(n) < self.p_evil
+        band = self.x_star * (1.0 + self.width * gen.random(n))
+        benign = (1.0 - gen.random(n)) * 2.0 * self.benign_mean
+        return np.where(evil, band, benign)
+
+    @property
+    def mean(self) -> float:
+        evil_mean = self.x_star * (1.0 + self.width / 2.0)
+        return self.p_evil * evil_mean + (1.0 - self.p_evil) * self.benign_mean
+
+
+class MixtureLengths(LengthDistribution):
+    """Weighted mixture of component distributions (ablation helper)."""
+
+    name = "mixture"
+
+    def __init__(
+        self, components: list[LengthDistribution], weights: list[float]
+    ) -> None:
+        if not components or len(components) != len(weights):
+            raise InvalidParameterError(
+                "components and weights must be equal-length and non-empty"
+            )
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise InvalidParameterError("weights must be non-negative, sum > 0")
+        self.components = list(components)
+        self.weights = w / w.sum()
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        choice = gen.choice(len(self.components), size=n, p=self.weights)
+        out = np.empty(n, dtype=float)
+        for i, comp in enumerate(self.components):
+            mask = choice == i
+            cnt = int(mask.sum())
+            if cnt:
+                out[mask] = comp.sample(cnt, gen)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return float(
+            sum(w * c.mean for w, c in zip(self.weights, self.components))
+        )

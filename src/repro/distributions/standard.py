@@ -1,0 +1,192 @@
+"""The Section 8.1 length distributions, parametrized by their mean.
+
+Each family is instantiated from the target mean µ so the synthetic
+harness can sweep distributions at fixed µ (the paper uses µ = 500).
+Lengths are continuous-ized where the underlying family is discrete
+(Geometric, Poisson) — the conflict model runs in continuous time — but
+remain integer-valued draws; all are clipped to be strictly positive so
+a "transaction" always has work to do.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import LengthDistribution, register
+from repro.errors import InvalidParameterError
+from repro.rngutil import ensure_rng
+
+__all__ = [
+    "GeometricLengths",
+    "NormalLengths",
+    "UniformLengths",
+    "ExponentialLengths",
+    "PoissonLengths",
+    "DeterministicLengths",
+    "BimodalLengths",
+]
+
+
+@register("geometric")
+class GeometricLengths(LengthDistribution):
+    """Geometric on {1, 2, ...} with success probability ``1/mu``
+    (exact mean µ)."""
+
+    def __init__(self, mean: float) -> None:
+        mean = self._check_mean(mean)
+        if mean < 1.0:
+            raise InvalidParameterError(
+                f"geometric lengths need mean >= 1, got {mean}"
+            )
+        self.mu = mean
+        self.p = 1.0 / mean
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        return gen.geometric(self.p, size=n).astype(float)
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+
+@register("normal")
+class NormalLengths(LengthDistribution):
+    """Normal(µ, (µ/4)²) truncated below at 1 by resampling.
+
+    The paper does not state the variance; µ/4 keeps the truncation mass
+    below 10^-4 so the realized mean is µ to 4 digits.
+    """
+
+    def __init__(self, mean: float, rel_std: float = 0.25) -> None:
+        mean = self._check_mean(mean)
+        if not 0.0 < rel_std < 1.0:
+            raise InvalidParameterError(
+                f"rel_std must be in (0, 1), got {rel_std}"
+            )
+        self.mu = mean
+        self.sigma = mean * rel_std
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        out = gen.normal(self.mu, self.sigma, size=n)
+        bad = out < 1.0
+        while np.any(bad):
+            out[bad] = gen.normal(self.mu, self.sigma, size=int(bad.sum()))
+            bad = out < 1.0
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+
+@register("uniform")
+class UniformLengths(LengthDistribution):
+    """Uniform on ``(0, 2µ]`` (exact mean µ)."""
+
+    def __init__(self, mean: float) -> None:
+        self.mu = self._check_mean(mean)
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        # (0, 2mu]: flip the half-open side of random() so 0 is excluded.
+        return (1.0 - gen.random(n)) * 2.0 * self.mu
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+
+@register("exponential")
+class ExponentialLengths(LengthDistribution):
+    """Exponential with mean µ (shifted up by machine epsilon > 0)."""
+
+    def __init__(self, mean: float) -> None:
+        self.mu = self._check_mean(mean)
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        return np.maximum(gen.exponential(self.mu, size=n), np.finfo(float).tiny)
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+
+@register("poisson")
+class PoissonLengths(LengthDistribution):
+    """Poisson(µ) conditioned on being >= 1 (mean ~ µ for µ >> 1)."""
+
+    def __init__(self, mean: float) -> None:
+        self.mu = self._check_mean(mean)
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        out = gen.poisson(self.mu, size=n).astype(float)
+        bad = out < 1.0
+        while np.any(bad):
+            out[bad] = gen.poisson(self.mu, size=int(bad.sum())).astype(float)
+            bad = out < 1.0
+        return out
+
+    @property
+    def mean(self) -> float:
+        # Conditioning on >= 1 shifts the mean by mu*P(0)/(1-P(0)); for
+        # the mu = 500 regime of the paper this is ~1e-214, i.e. mu.
+        p0 = math.exp(-self.mu)
+        return self.mu / (1.0 - p0)
+
+
+@register("deterministic")
+class DeterministicLengths(LengthDistribution):
+    """Every transaction takes exactly µ steps (the stack/queue regime
+    of Section 8.2: "transaction lengths are short and stable")."""
+
+    def __init__(self, mean: float) -> None:
+        self.mu = self._check_mean(mean)
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        return np.full(n, self.mu)
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+
+@register("bimodal")
+class BimodalLengths(LengthDistribution):
+    """Alternate short and very long transactions (Figure 3, bimodal app).
+
+    Mean µ with a ``short:long`` magnitude ratio; by default the long
+    mode is 20x the short mode and each is drawn with probability 1/2,
+    so ``short = 2µ/21`` and ``long = 40µ/21``.
+    """
+
+    def __init__(
+        self, mean: float, *, long_factor: float = 20.0, p_long: float = 0.5
+    ) -> None:
+        mean = self._check_mean(mean)
+        if long_factor <= 1.0:
+            raise InvalidParameterError(
+                f"long_factor must exceed 1, got {long_factor}"
+            )
+        if not 0.0 < p_long < 1.0:
+            raise InvalidParameterError(f"p_long must be in (0,1), got {p_long}")
+        self.mu = mean
+        self.long_factor = long_factor
+        self.p_long = p_long
+        # short * ((1 - p) + p * factor) = mean
+        self.short = mean / ((1.0 - p_long) + p_long * long_factor)
+        self.long = self.short * long_factor
+
+    def sample(self, n, rng=None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        is_long = gen.random(n) < self.p_long
+        return np.where(is_long, self.long, self.short)
+
+    @property
+    def mean(self) -> float:
+        return self.mu

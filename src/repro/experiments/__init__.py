@@ -1,0 +1,23 @@
+"""Experiment runners: one per table and figure in the paper.
+
+Use :func:`repro.experiments.registry.run_experiment` (re-exported at
+the package root) or the CLI (``python -m repro``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.experiments.report import render_result, render_series, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "render_result",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,180 @@
+"""Figure 3 — HTM throughput vs thread count (Section 8.2).
+
+Four panels (stack, queue, transactional application, bimodal
+application) x four conflict policies (NO_DELAY, DELAY_TUNED,
+DELAY_DET, DELAY_RAND), swept over the paper's 1..18 thread axis.
+
+Rows report committed operations per second at the configured clock,
+plus abort statistics for diagnosis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as _np
+
+from repro.htm import (
+    DetDelay,
+    Machine,
+    MachineParams,
+    NoDelay,
+    RandDelay,
+    TunedDelay,
+)
+from repro.rngutil import DEFAULT_SEED
+from repro.workloads import (
+    QueueWorkload,
+    StackWorkload,
+    TxAppWorkload,
+    Workload,
+)
+
+__all__ = [
+    "FIG3_POLICIES",
+    "FIG3_THREADS",
+    "run_fig3",
+    "run_fig3_stack",
+    "run_fig3_queue",
+    "run_fig3_txapp",
+    "run_fig3_bimodal",
+]
+
+#: Figure 3's policy series, in legend order.
+FIG3_POLICIES = ("NO_DELAY", "DELAY_TUNED", "DELAY_DET", "DELAY_RAND")
+
+#: Thread counts swept (the paper's x-axis runs to 18).
+FIG3_THREADS = (1, 2, 4, 6, 8, 12, 16, 18)
+
+
+def _policy_factory(name: str, workload: Workload, params: MachineParams):
+    if name == "NO_DELAY":
+        return lambda core_id: NoDelay()
+    if name == "DELAY_TUNED":
+        tuned = workload.tuned_delay_cycles(params)
+        return lambda core_id: TunedDelay(tuned)
+    if name == "DELAY_DET":
+        return lambda core_id: DetDelay()
+    if name == "DELAY_RAND":
+        return lambda core_id: RandDelay()
+    if name == "DELAY_RA":
+        from repro.htm import RequestorAbortsDelay
+
+        return lambda core_id: RequestorAbortsDelay()
+    if name == "DELAY_HYBRID":
+        from repro.htm import HybridDelay
+
+        return lambda core_id: HybridDelay()
+    if name == "GREEDY_CM":
+        from repro.htm import GreedyCM
+
+        return lambda core_id: GreedyCM()
+    raise ValueError(f"unknown Figure 3 policy {name!r}")
+
+
+def run_fig3(
+    workload_factory: Callable[[], Workload],
+    *,
+    threads: tuple[int, ...] = FIG3_THREADS,
+    policies: tuple[str, ...] = FIG3_POLICIES,
+    horizon: float = 300_000.0,
+    seed: int | None = None,
+    verify: bool = True,
+    repeats: int = 1,
+) -> list[dict[str, object]]:
+    """One Figure 3 panel: sweep threads x policies on a workload.
+
+    ``repeats > 1`` averages each cell over independent seeds and adds a
+    standard-error column — recommended at high contention, where
+    single-seed ordering is noisy (see EXPERIMENTS.md on the bimodal
+    panel).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    base_seed = DEFAULT_SEED if seed is None else seed
+    rows: list[dict[str, object]] = []
+    for n in threads:
+        params = MachineParams(n_cores=max(n, 1))
+        for policy_name in policies:
+            tputs: list[float] = []
+            ops_total = 0
+            aborts = 0
+            commits = 0
+            fallbacks = 0
+            for rep in range(repeats):
+                workload = workload_factory()
+                machine = Machine(
+                    params, _policy_factory(policy_name, workload, params)
+                )
+                machine.load(workload, seed=base_seed + 1009 * n + 7919 * rep)
+                stats = machine.run(horizon)
+                if verify:
+                    workload.verify(machine)
+                tputs.append(stats.throughput_ops_per_sec(params.clock_ghz))
+                ops_total += stats.ops_completed
+                aborts += stats.tx_aborted
+                commits += stats.tx_committed
+                fallbacks += stats.total("fallback_ops")
+            arr = _np.asarray(tputs)
+            row: dict[str, object] = {
+                "threads": n,
+                "policy": policy_name,
+                "ops_per_sec": float(arr.mean()),
+                "ops": ops_total // repeats,
+                "abort_rate": aborts / max(commits + aborts, 1),
+                "fallback_ops": fallbacks // repeats,
+            }
+            if repeats > 1:
+                row["sem"] = float(arr.std(ddof=1) / _np.sqrt(repeats))
+            rows.append(row)
+    return rows
+
+
+def run_fig3_stack(**kwargs) -> list[dict[str, object]]:
+    """Figure 3, stack throughput."""
+    return run_fig3(lambda: StackWorkload(), **kwargs)
+
+
+def run_fig3_queue(**kwargs) -> list[dict[str, object]]:
+    """Figure 3, queue throughput."""
+    return run_fig3(lambda: QueueWorkload(), **kwargs)
+
+
+def run_fig3_txapp(**kwargs) -> list[dict[str, object]]:
+    """Figure 3, transactional application (uniform lengths)."""
+    return run_fig3(lambda: TxAppWorkload(work_cycles=100), **kwargs)
+
+
+def run_fig3_bimodal(**kwargs) -> list[dict[str, object]]:
+    """Figure 3, bimodal transactional application."""
+    return run_fig3(
+        lambda: TxAppWorkload(work_cycles=100, bimodal=True), **kwargs
+    )
+
+
+#: Extended policy set: the paper's four series plus the extension
+#: resolutions (requestor-aborts, the Implications hybrid, and the
+#: global-knowledge Greedy contention manager baseline).
+EXT_POLICIES = (
+    "NO_DELAY",
+    "DELAY_RAND",
+    "DELAY_RA",
+    "DELAY_HYBRID",
+    "GREEDY_CM",
+)
+
+
+def run_ext_bank(**kwargs) -> list[dict[str, object]]:
+    """Extension panel: bank transfers + audits under every resolution."""
+    from repro.workloads import BankWorkload
+
+    kwargs.setdefault("policies", EXT_POLICIES)
+    return run_fig3(lambda: BankWorkload(p_audit=0.1), **kwargs)
+
+
+def run_ext_listset(**kwargs) -> list[dict[str, object]]:
+    """Extension panel: sorted linked-list set under every resolution."""
+    from repro.workloads import ListSetWorkload
+
+    kwargs.setdefault("policies", EXT_POLICIES)
+    return run_fig3(lambda: ListSetWorkload(), **kwargs)

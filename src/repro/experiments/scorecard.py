@@ -1,0 +1,124 @@
+"""The reproduction scorecard: every paper claim, checked in one run.
+
+``python -m repro scorecard --quick`` regenerates each artifact at CI
+scale and grades its *headline claim* (the qualitative statement
+EXPERIMENTS.md tracks), producing a single pass/fail table — the
+"does this reproduction still reproduce?" smoke check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import ExperimentError
+
+__all__ = ["run_scorecard"]
+
+
+def _grade_fig2a(rows) -> tuple[bool, str]:
+    by = {(r["distribution"], r["policy"]): r["vs_OPT"] for r in rows}
+    ok = all(
+        by[(d, "RRW(mu)")] <= by[(d, "RRW")] + 0.02
+        and by[(d, "RRA(mu)")] <= by[(d, "RRA")] + 0.02
+        for d in ("uniform", "exponential")
+    )
+    return ok, "constrained policies beat unconstrained at B >> mu"
+
+
+def _grade_fig2b(rows) -> tuple[bool, str]:
+    by = {(r["distribution"], r["policy"]): r["mean_cost"] for r in rows}
+    ok = all(
+        by[(d, "RRA")] < by[(d, "RRW")] for d in ("uniform", "exponential")
+    )
+    return ok, "RA beats RW at B < mu"
+
+
+def _grade_fig2c(rows) -> tuple[bool, str]:
+    det = next(r["vs_OPT"] for r in rows if r["policy"] == "DET")
+    rrw = next(r["vs_OPT"] for r in rows if r["policy"] == "RRW")
+    return (
+        abs(det - 3.0) < 0.05 and abs(rrw - 2.0) < 0.1,
+        "DET forced to 3x OPT; RRW holds 2x",
+    )
+
+
+def _grade_fig3_common(rows, *, tuned_wins: bool) -> tuple[bool, str]:
+    at8 = {r["policy"]: r["ops_per_sec"] for r in rows if r["threads"] == 8}
+    best_delay = max(at8["DELAY_TUNED"], at8["DELAY_RAND"], at8["DELAY_DET"])
+    ok = best_delay >= at8["NO_DELAY"] * 0.95
+    return ok, "delay policies >= NO_DELAY under contention"
+
+
+def _grade_tab_ratios(rows) -> tuple[bool, str]:
+    worst = max(r["rel_err"] for r in rows)
+    return worst < 5e-3, f"worst closed-vs-numeric rel err {worst:.1e}"
+
+
+def _grade_tab_abort(rows) -> tuple[bool, str]:
+    return all(r["RA_less_likely"] for r in rows), "RA less likely to abort"
+
+
+def _grade_cor1(rows) -> tuple[bool, str]:
+    return all(r["within"] for r in rows), "global ratio within (2w+1)/(w+1)"
+
+
+def _grade_cor2(rows) -> tuple[bool, str]:
+    return all(r["holds_half"] for r in rows), "commit within bound w.p. >= 1/2"
+
+
+def _grade_hybrid(rows) -> tuple[bool, str]:
+    picks = {r["k"]: r["hybrid_picks"] for r in rows}
+    ok = picks.get(2) == "requestor_aborts" and all(
+        v == "requestor_wins" for k, v in picks.items() if k >= 3
+    )
+    return ok, "RA at k=2, RW for chains (Implications)"
+
+
+#: claim graders per experiment id (quick-mode rows in, verdict out).
+_GRADERS: dict[str, Callable] = {
+    "fig2a": _grade_fig2a,
+    "fig2b": _grade_fig2b,
+    "fig2c": _grade_fig2c,
+    "fig3_stack": lambda rows: _grade_fig3_common(rows, tuned_wins=True),
+    "fig3_queue": lambda rows: _grade_fig3_common(rows, tuned_wins=True),
+    "fig3_txapp": lambda rows: _grade_fig3_common(rows, tuned_wins=False),
+    "tab_ratios": _grade_tab_ratios,
+    "tab_abort_prob": _grade_tab_abort,
+    "cor1": _grade_cor1,
+    "cor2": _grade_cor2,
+    "abl_hybrid": _grade_hybrid,
+}
+
+
+def run_scorecard(
+    *, quick: bool = True, seed: int | None = None
+) -> list[dict[str, object]]:
+    """Run every graded artifact and report pass/fail per claim."""
+    from repro.experiments.registry import run_experiment
+
+    rows: list[dict[str, object]] = []
+    for exp_id, grader in _GRADERS.items():
+        try:
+            result = run_experiment(exp_id, quick=quick, seed=seed)
+            passed, claim = grader(result.rows)
+            rows.append(
+                {
+                    "artifact": exp_id,
+                    "claim": claim,
+                    "reproduced": passed,
+                }
+            )
+        except ExperimentError as exc:  # pragma: no cover - config errors
+            rows.append(
+                {"artifact": exp_id, "claim": repr(exc), "reproduced": False}
+            )
+    rows.append(
+        {
+            "artifact": "TOTAL",
+            "claim": f"{sum(bool(r['reproduced']) for r in rows)}/{len(rows)} "
+            f"claims reproduced",
+            "reproduced": all(bool(r["reproduced"]) for r in rows),
+        }
+    )
+    return rows

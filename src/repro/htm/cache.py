@@ -1,0 +1,171 @@
+"""Private L1 cache: set-associative tags, MSI states, transactional bits.
+
+Tag-only: line *values* live in the machine's central memory (plus
+per-transaction write buffers); see the package docstring for why this
+is coherent.  The cache tracks what matters to the protocol — presence,
+M/S state, LRU, and the transactional read/write bits of Algorithm 1.
+
+Evicting a transactional line aborts the owning transaction (a
+*capacity abort*), exactly as Algorithm 1 line 4 prescribes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.htm.params import MachineParams
+
+__all__ = ["LineState", "CacheLine", "L1Cache"]
+
+
+class LineState(enum.Enum):
+    """MSI stable states (I is represented by absence from the set)."""
+
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+@dataclass
+class CacheLine:
+    """One resident line's bookkeeping."""
+
+    line: int
+    state: LineState
+    tx_read: bool = False
+    tx_write: bool = False
+    lru: int = 0
+
+    @property
+    def transactional(self) -> bool:
+        return self.tx_read or self.tx_write
+
+
+class L1Cache:
+    """Set-associative L1 with LRU replacement.
+
+    The cache never talks to the network itself; the HTM controller
+    drives all state changes and is responsible for protocol legality —
+    the methods here raise :class:`ProtocolError` on illegal transitions
+    so controller bugs surface immediately instead of corrupting runs.
+    """
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+        self._sets: list[dict[int, CacheLine]] = [
+            {} for _ in range(params.l1_sets)
+        ]
+        self._tick = 0
+
+    # -- lookup -----------------------------------------------------------
+    def _set_of(self, line: int) -> dict[int, CacheLine]:
+        return self._sets[line % self.params.l1_sets]
+
+    def lookup(self, line: int) -> CacheLine | None:
+        """Find a resident line (does not touch LRU)."""
+        return self._set_of(line).get(line)
+
+    def touch(self, entry: CacheLine) -> None:
+        """Mark the line most-recently-used."""
+        self._tick += 1
+        entry.lru = self._tick
+
+    def has_state(self, line: int, *, exclusive: bool) -> bool:
+        """Whether an access can hit locally (S suffices for reads)."""
+        entry = self.lookup(line)
+        if entry is None:
+            return False
+        return entry.state is LineState.MODIFIED or not exclusive
+
+    # -- fills and evictions ------------------------------------------------
+    def victim_for(self, line: int) -> CacheLine | None:
+        """The line that must be evicted to make room for ``line``
+        (None if the set has a free way or the line is resident)."""
+        bucket = self._set_of(line)
+        if line in bucket or len(bucket) < self.params.l1_assoc:
+            return None
+        return min(bucket.values(), key=lambda e: e.lru)
+
+    def fill(self, line: int, state: LineState) -> CacheLine:
+        """Insert (or upgrade) a line; caller must have evicted first."""
+        bucket = self._set_of(line)
+        entry = bucket.get(line)
+        if entry is not None:
+            entry.state = state
+        else:
+            if len(bucket) >= self.params.l1_assoc:
+                raise ProtocolError(
+                    f"fill of line {line} into a full set (evict first)"
+                )
+            entry = CacheLine(line=line, state=state)
+            bucket[line] = entry
+        self.touch(entry)
+        return entry
+
+    def evict(self, line: int) -> CacheLine:
+        """Remove a resident line and return its final bookkeeping."""
+        bucket = self._set_of(line)
+        entry = bucket.pop(line, None)
+        if entry is None:
+            raise ProtocolError(f"evicting non-resident line {line}")
+        return entry
+
+    # -- probes -------------------------------------------------------------
+    def downgrade(self, line: int) -> None:
+        """M -> S in response to a GETS probe."""
+        entry = self.lookup(line)
+        if entry is None or entry.state is not LineState.MODIFIED:
+            raise ProtocolError(f"downgrade of line {line} not in M")
+        entry.state = LineState.SHARED
+
+    def invalidate(self, line: int) -> None:
+        """Drop the line in response to a GETX probe (must be resident)."""
+        self.evict(line)
+
+    # -- transactional bits ---------------------------------------------------
+    def mark_tx(self, line: int, *, write: bool) -> None:
+        """Set a transactional bit.  Under lazy validation a tx-write
+        bit may sit on an S line during execution (the store is
+        buffered; exclusivity is acquired at commit)."""
+        entry = self.lookup(line)
+        if entry is None:
+            raise ProtocolError(f"tx-marking non-resident line {line}")
+        if write:
+            entry.tx_write = True
+        else:
+            entry.tx_read = True
+
+    def clear_tx_bits(self) -> list[int]:
+        """Commit: clear every transactional bit; returns affected lines."""
+        cleared = []
+        for bucket in self._sets:
+            for entry in bucket.values():
+                if entry.transactional:
+                    entry.tx_read = entry.tx_write = False
+                    cleared.append(entry.line)
+        return cleared
+
+    def invalidate_tx_lines(self) -> list[int]:
+        """Abort: drop every transactional line; returns dropped lines."""
+        dropped = []
+        for bucket in self._sets:
+            doomed = [ln for ln, e in bucket.items() if e.transactional]
+            for ln in doomed:
+                del bucket[ln]
+                dropped.append(ln)
+        return dropped
+
+    def transactional_lines(self) -> list[int]:
+        return [
+            e.line
+            for bucket in self._sets
+            for e in bucket.values()
+            if e.transactional
+        ]
+
+    def resident_lines(self) -> list[int]:
+        return [e.line for bucket in self._sets for e in bucket.values()]
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)

@@ -1,0 +1,337 @@
+"""Cycle-granular conflict policies for the HTM simulator.
+
+When a coherence probe conflicts with a receiver transaction, the
+receiver's HTM controller consults one of these policies for the grace
+period (in whole cycles).  The abort-cost estimate follows the paper's
+footnote 1: ``B = tx_age + abort_overhead`` — the work that would be
+thrown away plus the fixed cleanup cost — and the chain size ``k`` is
+the number of transactions in the waits-for chain at decision time.
+
+The four Figure 3 series map to:
+
+========  =====================================================
+NO_DELAY      :class:`NoDelay` (stock requestor-wins HTM)
+DELAY_TUNED   :class:`TunedDelay` with the profiled mean
+              fast-path transaction length
+DELAY_DET     :class:`DetDelay` — Theorem 4's ``B/(k-1)``
+DELAY_RAND    :class:`RandDelay` — Theorem 5's uniform draw
+========  =====================================================
+
+plus :class:`RRWMeanDelay` (the mean-constrained optimal policy) as an
+extension series.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.requestor_wins import optimal_requestor_wins
+from repro.errors import InvalidParameterError
+from repro.htm.params import MachineParams
+
+__all__ = [
+    "ConflictContext",
+    "CyclePolicy",
+    "NoDelay",
+    "TunedDelay",
+    "DetDelay",
+    "RandDelay",
+    "RRWMeanDelay",
+    "RequestorAbortsDelay",
+    "HybridDelay",
+    "GreedyCM",
+    "policy_from_name",
+]
+
+
+@dataclass(frozen=True)
+class ConflictContext:
+    """Everything the receiver knows at conflict time.
+
+    Attributes
+    ----------
+    tx_age:
+        Cycles the receiver transaction has been running.
+    chain_k:
+        Transactions in the conflict chain (receiver + waiters), >= 2.
+    params:
+        Machine parameters (for the abort-overhead constant).
+    """
+
+    tx_age: int
+    chain_k: int
+    params: MachineParams
+    #: Requestor transaction's age in cycles, or None when the
+    #: requestor is non-transactional.  Local online policies must NOT
+    #: read this — it exists for the global-knowledge contention-manager
+    #: baselines the paper contrasts itself against (GreedyCM).
+    requestor_age: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tx_age < 0:
+            raise InvalidParameterError(f"tx_age must be >= 0, got {self.tx_age}")
+        if self.chain_k < 2:
+            raise InvalidParameterError(f"chain_k must be >= 2, got {self.chain_k}")
+        if self.requestor_age is not None and self.requestor_age < 0:
+            raise InvalidParameterError(
+                f"requestor_age must be >= 0, got {self.requestor_age}"
+            )
+
+    @property
+    def abort_cost(self) -> int:
+        """``B = tx_age + abort_overhead`` (paper footnote 1)."""
+        return self.tx_age + self.params.abort_overhead
+
+
+class CyclePolicy(abc.ABC):
+    """A conflict-delay policy at cycle granularity."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        """Grace period in cycles (0 = abort the receiver immediately)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class NoDelay(CyclePolicy):
+    """Abort the receiver immediately — baseline requestor-wins HTM."""
+
+    name = "NO_DELAY"
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        return 0
+
+
+class TunedDelay(CyclePolicy):
+    """Hand-tuned fixed delay (Figure 3's DELAY_TUNED).
+
+    The operator profiles the workload and supplies the mean fast-path
+    transaction length; the receiver then always waits that long
+    (scaled by ``fraction``, default 1).  Predictably good when lengths
+    are stable, poor when they are bimodal — exactly the published
+    behaviour.
+    """
+
+    name = "DELAY_TUNED"
+
+    def __init__(self, tuned_cycles: int, *, fraction: float = 1.0) -> None:
+        if tuned_cycles < 0:
+            raise InvalidParameterError(
+                f"tuned_cycles must be >= 0, got {tuned_cycles}"
+            )
+        if fraction <= 0:
+            raise InvalidParameterError(f"fraction must be > 0, got {fraction}")
+        self.tuned_cycles = tuned_cycles
+        self.fraction = fraction
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        return int(round(self.tuned_cycles * self.fraction))
+
+
+class DetDelay(CyclePolicy):
+    """Theorem 4's optimal deterministic rule: wait ``B/(k-1)``."""
+
+    name = "DELAY_DET"
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        return int(ctx.abort_cost // (ctx.chain_k - 1))
+
+
+class RandDelay(CyclePolicy):
+    """Theorem 5's optimal randomized rule: uniform on ``[0, B/(k-1))``."""
+
+    name = "DELAY_RAND"
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        cap = ctx.abort_cost / (ctx.chain_k - 1)
+        return int(rng.random() * cap)
+
+
+class RRWMeanDelay(CyclePolicy):
+    """The mean-constrained optimal requestor-wins policy at cycle
+    granularity (uses the profiled mean remaining time ``mu_cycles``).
+
+    Falls back to the unconstrained optimum whenever ``mu/B`` leaves the
+    Theorem 5/6 regime at the observed ``B`` (the factory handles it).
+    Policies are cached per (B, k) bucket — B is bucketed to powers of
+    ~1.25 so the cache stays small while the delay distribution tracks
+    the transaction age.
+    """
+
+    name = "DELAY_RRW_MU"
+
+    def __init__(self, mu_cycles: float) -> None:
+        if mu_cycles <= 0:
+            raise InvalidParameterError(f"mu_cycles must be > 0, got {mu_cycles}")
+        self.mu_cycles = float(mu_cycles)
+        self._cache: dict[tuple[int, int], object] = {}
+
+    def _bucket(self, B: int) -> int:
+        if B < 1:
+            return 1
+        return int(round(1.25 ** round(math.log(B, 1.25))))
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        B = self._bucket(max(ctx.abort_cost, 1))
+        key = (B, ctx.chain_k)
+        policy = self._cache.get(key)
+        if policy is None:
+            policy = optimal_requestor_wins(float(B), ctx.chain_k, self.mu_cycles)
+            self._cache[key] = policy
+        return int(policy.sample(rng))
+
+
+class RequestorAbortsDelay(CyclePolicy):
+    """Extension: requestor-aborts resolution in the HTM (Section 4.2).
+
+    The receiver stalls the requestor for a grace period drawn from the
+    optimal requestor-aborts density (Theorems 1/3); when it expires,
+    the *requestor* is NACK-aborted and the receiver runs to commit.
+    Transactional requestors only — non-speculative requests (CAS,
+    fallback stores) cannot be aborted and win by waiting.
+
+    The ``resolution`` attribute is what the HTM controller dispatches
+    on; policies without it default to requestor-wins.
+    """
+
+    name = "DELAY_RA"
+    resolution = "requestor_aborts"
+
+    def __init__(self, mu_cycles: float | None = None) -> None:
+        if mu_cycles is not None and mu_cycles <= 0:
+            raise InvalidParameterError(f"mu_cycles must be > 0, got {mu_cycles}")
+        self.mu_cycles = mu_cycles
+        self._cache: dict[tuple[int, int], object] = {}
+
+    def _bucket(self, B: int) -> int:
+        if B < 1:
+            return 1
+        return int(round(1.25 ** round(math.log(B, 1.25))))
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        from repro.core.requestor_aborts import optimal_requestor_aborts
+
+        B = self._bucket(max(ctx.abort_cost, 1))
+        key = (B, ctx.chain_k)
+        policy = self._cache.get(key)
+        if policy is None:
+            policy = optimal_requestor_aborts(
+                float(B), ctx.chain_k, self.mu_cycles
+            )
+            self._cache[key] = policy
+        return max(1, int(policy.sample(rng)))
+
+
+class HybridDelay(CyclePolicy):
+    """Extension: the paper's "Implications" hybrid, live in the HTM.
+
+    Per conflict, picks the resolution strategy with the better optimal
+    competitive ratio at the observed chain size — requestor-aborts for
+    ``k = 2``, requestor-wins for ``k >= 3`` — and draws the grace
+    period from that strategy's optimal density.
+    """
+
+    name = "DELAY_HYBRID"
+
+    def __init__(self, mu_cycles: float | None = None) -> None:
+        self._rw = RRWMeanDelay(mu_cycles) if mu_cycles else None
+        self._ra = RequestorAbortsDelay(mu_cycles)
+        self._rw_plain_cache: dict[tuple[int, int], object] = {}
+        self.mu_cycles = mu_cycles
+
+    @staticmethod
+    def resolution(ctx: ConflictContext) -> str:
+        from repro.core.ratios import rand_ra_ratio, rand_rw_optimal_ratio
+
+        if rand_ra_ratio(ctx.chain_k) <= rand_rw_optimal_ratio(ctx.chain_k):
+            return "requestor_aborts"
+        return "requestor_wins"
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        if self.resolution(ctx) == "requestor_aborts":
+            return self._ra.decide(ctx, rng)
+        if self._rw is not None:
+            return self._rw.decide(ctx, rng)
+        # unconstrained requestor-wins optimum
+        from repro.core.requestor_wins import optimal_requestor_wins
+
+        B = self._ra._bucket(max(ctx.abort_cost, 1))
+        key = (B, ctx.chain_k)
+        policy = self._rw_plain_cache.get(key)
+        if policy is None:
+            policy = optimal_requestor_wins(float(B), ctx.chain_k)
+            self._rw_plain_cache[key] = policy
+        return int(policy.sample(rng))
+
+
+class GreedyCM(CyclePolicy):
+    """Baseline: the Greedy contention manager (global knowledge).
+
+    The paper positions its policies against software-TM contention
+    managers that "have global knowledge about the set of running
+    transactions"; Greedy (Guerraoui-Herlihy-Pochon) is the canonical
+    one — on conflict, the *older* transaction wins immediately.  This
+    implementation uses the requestor's true age (information a local
+    HTM policy cannot have) to decide which side aborts, with no grace
+    period: receiver older ⇒ requestor NACKed, else receiver aborts.
+
+    A non-transactional requestor has no timestamp and always wins (the
+    receiver aborts), matching Greedy's treatment of irrevocable
+    operations.
+    """
+
+    name = "GREEDY_CM"
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        return 0  # greedy never waits; resolution picks the victim
+
+    @staticmethod
+    def resolution(ctx: ConflictContext) -> str:
+        if ctx.requestor_age is None:
+            return "requestor_wins"  # irrevocable requestor
+        # older transaction (larger age) wins
+        if ctx.tx_age >= ctx.requestor_age:
+            return "requestor_aborts"
+        return "requestor_wins"
+
+
+def policy_from_name(
+    name: str,
+    params: MachineParams,
+    *,
+    tuned_cycles: int | None = None,
+    mu_cycles: float | None = None,
+) -> CyclePolicy:
+    """Build a policy by its Figure 3 series name."""
+    key = name.upper()
+    if key == "NO_DELAY":
+        return NoDelay()
+    if key == "DELAY_TUNED":
+        if tuned_cycles is None:
+            raise InvalidParameterError("DELAY_TUNED needs tuned_cycles")
+        return TunedDelay(tuned_cycles)
+    if key == "DELAY_DET":
+        return DetDelay()
+    if key == "DELAY_RAND":
+        return RandDelay()
+    if key == "DELAY_RRW_MU":
+        if mu_cycles is None:
+            raise InvalidParameterError("DELAY_RRW_MU needs mu_cycles")
+        return RRWMeanDelay(mu_cycles)
+    if key == "DELAY_RA":
+        return RequestorAbortsDelay(mu_cycles)
+    if key == "DELAY_HYBRID":
+        return HybridDelay(mu_cycles)
+    if key == "GREEDY_CM":
+        return GreedyCM()
+    raise InvalidParameterError(
+        f"unknown conflict policy {name!r}; known: NO_DELAY, DELAY_TUNED, "
+        f"DELAY_DET, DELAY_RAND, DELAY_RRW_MU, DELAY_RA, DELAY_HYBRID, GREEDY_CM"
+    )

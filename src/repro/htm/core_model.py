@@ -1,0 +1,281 @@
+"""In-order core: drives workload operations through the memory system.
+
+Operations are generators over the micro-ISA (:mod:`repro.htm.isa`).
+The core brackets each HTM attempt with ``begin_tx``/``commit_tx``,
+restarts the operation from scratch on abort (with randomized
+exponential backoff — requestor-wins HTM livelocks without it), and
+escalates to the operation's lock-free fallback path after
+``max_retries`` failed attempts, exactly the structure of the paper's
+stack/queue benchmarks ("lock-free designs as slow-path backups").
+
+Stale-event safety: every attempt owns a *token*; callbacks captured by
+in-flight memory requests or compute timers carry the token and are
+dropped if the attempt has since died.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.htm.controller import AbortReason
+from repro.htm.isa import CAS, AbortTx, AcquireX, Compute, Fence, Read, Write
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.htm.controller import CoreMemSystem
+    from repro.htm.machine import Machine
+    from repro.workloads.base import Operation, Workload
+
+__all__ = ["Core"]
+
+
+class Core:
+    """One hardware thread."""
+
+    def __init__(
+        self,
+        core_id: int,
+        machine: "Machine",
+        mem: "CoreMemSystem",
+        workload: "Workload",
+        rng: np.random.Generator,
+    ) -> None:
+        self.core_id = core_id
+        self.machine = machine
+        self.sim = machine.sim
+        self.params = machine.params
+        self.mem = mem
+        self.workload = workload
+        self.rng = rng
+        self.stats = machine.stats.core(core_id)
+
+        self._op: "Operation | None" = None
+        self._gen = None
+        self._attempt = 0
+        self._in_htm = False
+        self._phase = "body"  # "body" -> "commit" (lazy write-set acquire)
+        self._body_result: object = None
+        self._token = 0
+        self._outstanding = False  # a memory access is in flight
+        self._retry_pending = False
+        self.idle = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin issuing operations (staggered a few cycles per core so
+        the fleet does not start in lockstep)."""
+        jitter = int(self.rng.integers(0, 4 * (self.core_id + 1)))
+        self.sim.after(jitter, self._next_op, label="core-start")
+
+    def _next_op(self) -> None:
+        if self.machine.draining:
+            self.idle = True
+            return
+        self._op = self.workload.next_op(self.core_id, self.rng)
+        if self._op is None:
+            self.idle = True
+            return
+        self.idle = False
+        self._attempt = 0
+        self._start_attempt()
+
+    # ------------------------------------------------------------------
+    def _start_attempt(self) -> None:
+        assert self._op is not None
+        self._token += 1
+        use_fallback = (
+            self._attempt >= self.params.max_retries
+            and self._op.has_fallback()
+        )
+        self._phase = "body"
+        self._body_result = None
+        if use_fallback:
+            self._in_htm = False
+            self._gen = self._op.fallback(self._make_ctx())
+        else:
+            self._in_htm = True
+            self._gen = self._op.body(self._make_ctx())
+            self.mem.begin_tx(self._on_abort)
+        self._advance(self._token, None)
+
+    def _make_ctx(self):
+        from repro.workloads.base import OpContext
+
+        return OpContext(core_id=self.core_id, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    def _advance(self, token: int, value: object) -> None:
+        if token != self._token:
+            return  # stale resume from a dead attempt
+        assert self._gen is not None
+        try:
+            instr = self._gen.send(value)
+        except StopIteration as stop:
+            self._complete(token, stop.value)
+            return
+        self._dispatch(token, instr)
+
+    def _dispatch(self, token: int, instr: object) -> None:
+        resume = lambda v=None, t=token: self._advance(t, v)  # noqa: E731
+        if isinstance(instr, Compute):
+            self.sim.after(instr.cycles, resume, label="compute")
+        elif isinstance(instr, Read):
+            self._issue(
+                token, instr.addr, write=False, value=None, cas=None
+            )
+        elif isinstance(instr, Write):
+            self._issue(
+                token, instr.addr, write=True, value=instr.value, cas=None
+            )
+        elif isinstance(instr, CAS):
+            if self._in_htm:
+                raise SimulationError(
+                    f"core {self.core_id}: CAS inside a transaction"
+                )
+            self._issue(
+                token,
+                instr.addr,
+                write=False,
+                value=None,
+                cas=(instr.expected, instr.new),
+            )
+        elif isinstance(instr, AcquireX):
+            if not self._in_htm or self._phase != "commit":
+                raise SimulationError(
+                    f"core {self.core_id}: AcquireX outside commit phase"
+                )
+            self._issue(token, instr.addr, write=False, value=None, cas=None,
+                        acquire=True)
+        elif isinstance(instr, AbortTx):
+            if not self._in_htm:
+                raise SimulationError(
+                    f"core {self.core_id}: AbortTx outside a transaction"
+                )
+            self.mem.abort_tx(AbortReason.EXPLICIT)
+        elif isinstance(instr, Fence):
+            self.sim.after(1, resume, label="fence")
+        else:
+            raise SimulationError(
+                f"core {self.core_id}: unknown instruction {instr!r}"
+            )
+
+    def _issue(
+        self,
+        token: int,
+        addr: int,
+        *,
+        write: bool,
+        value: int | None,
+        cas: tuple[int, int] | None,
+        acquire: bool = False,
+    ) -> None:
+        """Issue one memory access, maintaining the single-outstanding-
+        request invariant across aborts.
+
+        ``_outstanding`` must be set before the access: a capacity abort
+        fires the abort callback synchronously from inside ``access``,
+        and the callback needs to see whether a request slot is held."""
+        self._outstanding = True
+        issued = self.mem.access(
+            addr,
+            write=write,
+            tx=self._in_htm,
+            value=value,
+            cas=cas,
+            acquire=acquire,
+            done=lambda v, t=token: self._mem_done(t, v),
+        )
+        if not issued:
+            # the access died with its transaction before reaching the
+            # directory; release the slot and run any deferred retry
+            self._outstanding = False
+            if self._retry_pending:
+                self._retry_pending = False
+                self._schedule_retry()
+
+    def _mem_done(self, token: int, value: object) -> None:
+        """Memory-access completion: the single outstanding slot drains
+        here.  A retry that was deferred because its dead attempt still
+        had a request in flight (one request per core at the directory —
+        issuing another would double-queue) can now proceed."""
+        self._outstanding = False
+        if token == self._token:
+            self._advance(token, value)
+        elif self._retry_pending:
+            self._retry_pending = False
+            self._schedule_retry()
+
+    # ------------------------------------------------------------------
+    def _complete(self, token: int, result: object) -> None:
+        if token != self._token:
+            return
+        if not self._in_htm:
+            self.stats.fallback_ops += 1
+            self._op_done(result)
+            return
+        if self._phase == "body":
+            # lazy validation: acquire the write set exclusively before
+            # the commit can apply (this is the paper's "commit phase")
+            self._body_result = result
+            self._phase = "commit"
+            self._gen = self._commit_gen()
+            self._advance(token, None)
+            return
+        # commit phase finished: every write-set line is owned
+        self.mem.finalize_commit(
+            lambda t=token, r=self._body_result: self._committed(t, r)
+        )
+
+    def _commit_gen(self):
+        """Yield one AcquireX per write-set line still lacking M."""
+        while True:
+            addr = self.mem.next_commit_addr()
+            if addr is None:
+                return
+            yield AcquireX(addr)
+
+    def _committed(self, token: int, result: object) -> None:
+        # finalize_commit cannot fail: the write set is fully owned and
+        # conflicts would have aborted us before this point
+        self._op_done(result)
+
+    def _op_done(self, result: object) -> None:
+        assert self._op is not None
+        self.stats.ops_completed += 1
+        self._op.on_commit(self.machine, self.core_id, result)
+        self._op = None
+        self._gen = None
+        self.sim.after(1, self._next_op, label="next-op")
+
+    # ------------------------------------------------------------------
+    def _on_abort(self, reason: AbortReason) -> None:
+        """Called by the mem system whenever the running tx dies."""
+        self._token += 1  # kill in-flight resumes
+        self._gen = None
+        self._attempt += 1
+        if self._outstanding:
+            # the dead attempt's coherence request is still queued at
+            # the directory; retrying now would give this core two
+            # outstanding requests — defer until it drains (_mem_done)
+            self._retry_pending = True
+            return
+        self._schedule_retry()
+
+    def _schedule_retry(self) -> None:
+        delay = self.params.abort_cycles + self._backoff_cycles()
+        self.sim.after(delay, self._retry, self._token, label="retry")
+
+    def _retry(self, token: int) -> None:
+        if token != self._token or self._op is None:
+            return
+        self._start_attempt()
+
+    def _backoff_cycles(self) -> int:
+        base = self.params.retry_backoff_base
+        if base <= 0:
+            return 0
+        exp = min(self._attempt, 10)
+        raw = min(base * (1 << exp), self.params.retry_backoff_cap)
+        return int(raw * (0.5 + self.rng.random()))

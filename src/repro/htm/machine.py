@@ -1,0 +1,286 @@
+"""The simulated multicore: cores + L1s + directory + memory, wired up.
+
+The machine also owns the *waits-for graph* used for two things the
+paper's model requires: chain-size estimation (the ``k`` fed to the
+conflict policy) and cycle detection (assumption (c) — real HTMs that
+delay responses detect conflict cycles and abort every transaction
+involved; reference [2] in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, SimulationError
+from repro.htm.conflict_policy import CyclePolicy
+from repro.htm.controller import AbortReason, CoreMemSystem
+from repro.htm.directory import Directory
+from repro.htm.params import MachineParams
+from repro.htm.stats import MachineStats
+from repro.rngutil import spawn_streams
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.htm.core_model import Core
+    from repro.workloads.base import Workload
+
+__all__ = ["Machine", "MachineStats"]
+
+
+class Machine:
+    """A runnable HTM multicore.
+
+    Typical use::
+
+        machine = Machine(params, policy_factory=lambda cid: RandDelay())
+        machine.load(workload)
+        stats = machine.run(horizon_cycles=2_000_000, seed=1)
+        print(stats.throughput_ops_per_sec(params.clock_ghz))
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        policy_factory,
+        *,
+        detect_cycles: bool = True,
+        wedge_aware: bool = True,
+        topology=None,
+    ) -> None:
+        self.params = params
+        self.sim = Simulator()
+        self.memory: dict[int, int] = {}
+        self.stats = MachineStats(params.n_cores)
+        self.detect_cycles = detect_cycles
+        # wedge_aware: receivers whose unacquired write set contains the
+        # contested line abort immediately (structurally D = inf); see
+        # CoreMemSystem._is_wedged and the abl_wedge ablation bench
+        self.wedge_aware = wedge_aware
+        self.draining = False
+        # line 0 is reserved so that word address 0 can serve as the
+        # null pointer in linked workloads
+        self._alloc_ptr = params.line_words
+        self._policy_factory = policy_factory
+        self._streams: list[np.random.Generator] = []
+        self.mems: list[CoreMemSystem] = []
+        self.cores: list["Core"] = []
+        self.workload: "Workload | None" = None
+        # callbacks fired with each committed transaction's duration in
+        # cycles (used by the online profiler extension)
+        self.commit_observers: list = []
+        # attach a repro.sim.trace.Tracer for event timelines
+        from repro.sim.trace import NullTracer
+
+        self.tracer = NullTracer()
+        # waits-for multiset: (waiter_core, holder_core) -> count
+        self._waits: dict[tuple[int, int], int] = {}
+        self.directory = Directory(
+            self.sim,
+            params,
+            self._deliver_probe,
+            topology=topology,  # None -> FixedLatency(params.hop)
+            queue_wait_cb=None,  # queue waits counted via queued_behind()
+            queue_clear_cb=None,
+        )
+
+    # ------------------------------------------------------------------
+    # Memory allocation (workload setup)
+    # ------------------------------------------------------------------
+    def alloc(self, words: int, *, line_aligned: bool = True) -> int:
+        """Bump-allocate ``words`` of address space; line alignment keeps
+        logically distinct objects on distinct cache lines (the usual
+        padding discipline for concurrent data structures)."""
+        if words < 1:
+            raise InvalidParameterError(f"alloc of {words} words")
+        if line_aligned and self._alloc_ptr % self.params.line_words:
+            self._alloc_ptr += (
+                self.params.line_words - self._alloc_ptr % self.params.line_words
+            )
+        base = self._alloc_ptr
+        self._alloc_ptr += words
+        return base
+
+    def poke(self, addr: int, value: int) -> None:
+        """Initialize memory (setup only)."""
+        self.memory[addr] = value
+
+    def peek(self, addr: int) -> int:
+        return self.memory.get(addr, 0)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def load(self, workload: "Workload", *, seed: int | None = None) -> None:
+        """Instantiate mem systems and cores, let the workload set up its
+        shared state."""
+        from repro.htm.core_model import Core  # local import breaks cycle
+
+        n = self.params.n_cores
+        self._streams = spawn_streams(seed, 2 * n)
+        self.mems = [
+            CoreMemSystem(i, self, self._policy_factory(i), self._streams[i])
+            for i in range(n)
+        ]
+        self.workload = workload
+        workload.setup(self)
+        self.cores = [
+            Core(i, self, self.mems[i], workload, self._streams[n + i])
+            for i in range(n)
+        ]
+
+    def run(
+        self,
+        horizon_cycles: float,
+        *,
+        warmup_cycles: float = 0.0,
+        drain: bool = True,
+    ) -> MachineStats:
+        """Run all cores until the cycle horizon; returns the stats.
+
+        ``warmup_cycles`` lets caches and contention reach steady state
+        before counters are (re)started.  With ``drain`` (default), no
+        new operations are issued past the horizon but in-flight ones
+        run to completion, so workload verification sees a quiescent
+        state (no torn in-flight transactions).  Throughput uses the
+        horizon window; at most one drained op per core lands outside
+        it.
+        """
+        if not self.cores:
+            raise SimulationError("load() a workload before run()")
+        if horizon_cycles <= warmup_cycles:
+            raise InvalidParameterError("horizon must exceed warmup")
+        self.draining = False
+        for core in self.cores:
+            core.start()
+        if warmup_cycles > 0.0:
+            self.sim.run(until=warmup_cycles)
+            self._reset_counters()
+        self.sim.run(until=horizon_cycles)
+        self.stats.cycles = horizon_cycles - warmup_cycles
+        if drain:
+            self.draining = True
+            # generous safety horizon: every in-flight op finishes well
+            # within this unless the machine is livelocked (a bug)
+            self.sim.run(
+                until=horizon_cycles + max(1e6, horizon_cycles),
+                stop_when=lambda: all(c.idle for c in self.cores),
+            )
+            if not all(c.idle for c in self.cores):
+                raise SimulationError(
+                    "drain did not quiesce: in-flight operations survived "
+                    "a full extra horizon (livelock?)"
+                )
+        return self.stats
+
+    def _reset_counters(self) -> None:
+        fresh = MachineStats(self.params.n_cores)
+        for mem in self.mems:
+            mem.stats = fresh.core(mem.core_id)
+        for core in self.cores:
+            core.stats = fresh.core(core.core_id)
+        self.stats = fresh
+
+    # ------------------------------------------------------------------
+    # Probe delivery (directory -> core controller)
+    # ------------------------------------------------------------------
+    def _deliver_probe(self, target, line, exclusive, requestor, ack) -> None:
+        self.mems[target].handle_probe(line, exclusive, requestor, ack)
+
+    # ------------------------------------------------------------------
+    # Waits-for graph
+    # ------------------------------------------------------------------
+    def note_wait(self, waiter: int, holder: int) -> None:
+        key = (waiter, holder)
+        self._waits[key] = self._waits.get(key, 0) + 1
+
+    def clear_wait(self, waiter: int, holder: int) -> None:
+        key = (waiter, holder)
+        count = self._waits.get(key, 0)
+        if count <= 1:
+            self._waits.pop(key, None)
+        else:
+            self._waits[key] = count - 1
+
+    def _waiters_of(self, holder: int) -> set[int]:
+        return {w for (w, h) in self._waits if h == holder}
+
+    def _holders_of(self, waiter: int) -> set[int]:
+        return {h for (w, h) in self._waits if w == waiter}
+
+    def transitive_waiters(self, holder: int) -> set[int]:
+        """Every core transitively delayed by ``holder``."""
+        seen: set[int] = set()
+        frontier = [holder]
+        while frontier:
+            node = frontier.pop()
+            for waiter in self._waiters_of(node):
+                if waiter not in seen and waiter != holder:
+                    seen.add(waiter)
+                    frontier.append(waiter)
+        return seen
+
+    def chain_size(self, holder: int) -> int:
+        """The paper's ``k``: receiver + every transaction it delays.
+
+        Direct probe waiters and their transitive waiters come from the
+        waits-for graph; requests queued at the directory behind a
+        waiter's in-service request are delayed too and are counted via
+        :meth:`queued_behind`.
+        """
+        waiters = self.transitive_waiters(holder)
+        queued = sum(self.queued_behind(w) for w in waiters)
+        return 1 + len(waiters) + queued
+
+    def queued_behind(self, core: int) -> int:
+        """Requests queued behind ``core``'s in-service request(s)."""
+        total = 0
+        for entry in self.directory.entries.values():
+            if entry.busy and entry.queue and entry.queue[0].core == core:
+                total += len(entry.queue) - 1
+        return total
+
+    def check_cycle(self, requestor: int) -> None:
+        """After adding edge ``requestor -> holder``: if the requestor is
+        reachable *from* any of its holders, a conflict cycle exists;
+        abort every transactional core on it (paper assumption (c))."""
+        if not self.detect_cycles:
+            return
+        path = self._find_cycle_path(requestor)
+        if path is None:
+            return
+        self.stats.cycle_aborts += 1
+        for core_id in path:
+            mem = self.mems[core_id]
+            if mem.tx_active:
+                mem.abort_tx(AbortReason.CYCLE)
+
+    def _find_cycle_path(self, start: int) -> list[int] | None:
+        """DFS over waits-for edges from ``start``; returns the cycle's
+        node list if ``start`` is reachable from itself."""
+        stack: list[tuple[int, list[int]]] = [(start, [start])]
+        visited: set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            for holder in self._holders_of(node):
+                if holder == start:
+                    return path
+                if holder not in visited:
+                    visited.add(holder)
+                    stack.append((holder, path + [holder]))
+        return None
+
+    # ------------------------------------------------------------------
+    # Invariant checking (tests call this at quiescent points)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        resident = {
+            mem.core_id: set(mem.cache.resident_lines()) for mem in self.mems
+        }
+        self.directory.check_invariants(resident)
+        for mem in self.mems:
+            if not mem.tx_active and mem.cache.transactional_lines():
+                raise SimulationError(
+                    f"core {mem.core_id}: tx bits set without an active tx"
+                )

@@ -1,0 +1,124 @@
+"""Online transaction-length profiling (extension).
+
+Section 5.2 motivates the mean-constrained policies with "a profiler
+which records the empirical mean over all successful executions of a
+transaction, and uses this information when deciding the grace period
+length".  The paper's experiments hand that mean to the policies
+offline; this module closes the loop *online*: a per-machine profiler
+accumulates committed-transaction durations, and
+:class:`AdaptiveDelay` feeds the running mean into the mean-constrained
+optimal policy — no offline tuning step, no workload knowledge.
+
+Until enough commits have been observed (``warmup``), the policy falls
+back to the unconstrained uniform optimum, so cold-start behaviour is
+exactly DELAY_RAND.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.requestor_wins import optimal_requestor_wins
+from repro.errors import InvalidParameterError
+from repro.htm.conflict_policy import ConflictContext, CyclePolicy
+from repro.sim.stats import Welford
+
+__all__ = ["CommitProfiler", "AdaptiveDelay"]
+
+
+class CommitProfiler:
+    """Shared accumulator of committed-transaction durations.
+
+    One instance per machine; every core's :class:`AdaptiveDelay`
+    observes commits into it and reads the running mean.  The profiler
+    tracks full execution-to-commit durations; the theory's µ is the
+    mean *remaining* time at conflict, which for a conflict striking at
+    a uniformly random point is half the mean duration — hence the 0.5
+    factor in :meth:`mu_estimate` (the same convention as the synthetic
+    harness's ``mu_source`` discussion).
+    """
+
+    def __init__(self, *, remaining_fraction: float = 0.5) -> None:
+        if not 0.0 < remaining_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"remaining_fraction must be in (0, 1], got {remaining_fraction}"
+            )
+        self.durations = Welford()
+        self.remaining_fraction = remaining_fraction
+
+    def observe_commit(self, duration_cycles: float) -> None:
+        if duration_cycles < 0:
+            raise InvalidParameterError(
+                f"duration must be >= 0, got {duration_cycles}"
+            )
+        self.durations.add(float(duration_cycles))
+
+    @property
+    def n(self) -> int:
+        return self.durations.n
+
+    def mu_estimate(self) -> float:
+        """Estimated mean remaining time at conflict (NaN until data)."""
+        if self.durations.n == 0:
+            return math.nan
+        return self.durations.mean * self.remaining_fraction
+
+
+class AdaptiveDelay(CyclePolicy):
+    """Mean-constrained optimal delays with a *live* profiled mean.
+
+    Parameters
+    ----------
+    profiler:
+        Shared :class:`CommitProfiler` (one per machine).
+    warmup:
+        Committed transactions required before trusting the estimate.
+    refresh:
+        Rebuild the cached policy after this many new commits (the mean
+        drifts as the workload warms up).
+    """
+
+    name = "DELAY_ADAPTIVE"
+
+    def __init__(
+        self,
+        profiler: CommitProfiler,
+        *,
+        warmup: int = 32,
+        refresh: int = 256,
+    ) -> None:
+        if warmup < 1 or refresh < 1:
+            raise InvalidParameterError("warmup and refresh must be >= 1")
+        self.profiler = profiler
+        self.warmup = warmup
+        self.refresh = refresh
+        self._cache: dict[tuple[int, int], object] = {}
+        self._cache_n = -1
+
+    def _bucket(self, B: int) -> int:
+        if B < 1:
+            return 1
+        return int(round(1.25 ** round(math.log(B, 1.25))))
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        mu = None
+        if self.profiler.n >= self.warmup:
+            mu = self.profiler.mu_estimate()
+        # invalidate the policy cache when enough new data arrived
+        if (
+            self._cache_n >= 0
+            and self.profiler.n - self._cache_n >= self.refresh
+        ):
+            self._cache.clear()
+            self._cache_n = self.profiler.n
+        elif self._cache_n < 0:
+            self._cache_n = self.profiler.n
+        B = self._bucket(max(ctx.abort_cost, 1))
+        key = (B, ctx.chain_k)
+        policy = self._cache.get(key)
+        if policy is None:
+            policy = optimal_requestor_wins(float(B), ctx.chain_k, mu)
+            self._cache[key] = policy
+        return int(policy.sample(rng))

@@ -1,0 +1,97 @@
+"""Counters and summaries for HTM machine runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import Welford
+
+__all__ = ["CoreStats", "MachineStats"]
+
+
+@dataclass
+class CoreStats:
+    """Per-core counters (one instance per core per run)."""
+
+    core_id: int
+    tx_started: int = 0
+    tx_committed: int = 0
+    tx_aborted: int = 0
+    ops_completed: int = 0
+    fallback_ops: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    writebacks: int = 0
+    conflicts_received: int = 0
+    nacks_sent: int = 0
+    abort_reasons: dict[str, int] = field(default_factory=dict)
+    grace_delay_stats: Welford = field(default_factory=Welford)
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.tx_committed + self.tx_aborted
+        return self.tx_aborted / total if total else 0.0
+
+
+class MachineStats:
+    """Aggregated machine statistics."""
+
+    def __init__(self, n_cores: int) -> None:
+        self._cores = [CoreStats(core_id=i) for i in range(n_cores)]
+        self.cycles = 0.0
+        self.cycle_aborts = 0
+
+    def core(self, core_id: int) -> CoreStats:
+        return self._cores[core_id]
+
+    @property
+    def cores(self) -> list[CoreStats]:
+        return list(self._cores)
+
+    # -- aggregates ---------------------------------------------------------
+    def total(self, attr: str) -> int:
+        return sum(getattr(c, attr) for c in self._cores)
+
+    @property
+    def ops_completed(self) -> int:
+        return self.total("ops_completed")
+
+    @property
+    def tx_committed(self) -> int:
+        return self.total("tx_committed")
+
+    @property
+    def tx_aborted(self) -> int:
+        return self.total("tx_aborted")
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.tx_committed + self.tx_aborted
+        return self.tx_aborted / total if total else 0.0
+
+    def abort_reasons(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for c in self._cores:
+            for reason, count in c.abort_reasons.items():
+                merged[reason] = merged.get(reason, 0) + count
+        return merged
+
+    def throughput_ops_per_sec(self, clock_ghz: float) -> float:
+        """Figure 3's y-axis: committed operations per wall-clock second
+        at the configured clock."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.ops_completed * clock_ghz * 1e9 / self.cycles
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "ops": float(self.ops_completed),
+            "commits": float(self.tx_committed),
+            "aborts": float(self.tx_aborted),
+            "abort_rate": self.abort_rate,
+            "fallback_ops": float(self.total("fallback_ops")),
+            "l1_hits": float(self.total("l1_hits")),
+            "l1_misses": float(self.total("l1_misses")),
+            "conflicts": float(self.total("conflicts_received")),
+        }

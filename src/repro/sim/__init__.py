@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate.
+
+A minimal but complete event-driven kernel used by both the adversarial
+throughput arena (Section 6) and the HTM machine simulator (Section 8.2):
+a stable binary-heap event queue, a simulator facade with scheduling
+helpers, and online statistics accumulators.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.stats import Welford, RatioTracker, Histogram
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Welford",
+    "RatioTracker",
+    "Histogram",
+]

@@ -1,0 +1,206 @@
+"""Event-driven simulation kernel.
+
+Design notes
+------------
+* **Stable ordering.**  Events at equal timestamps fire in insertion
+  order (a monotonically increasing sequence number breaks heap ties).
+  Deterministic tie-breaking is what makes every simulation in this
+  repository exactly reproducible for a fixed seed.
+* **Cancellation by invalidation.**  ``cancel()`` marks the event dead
+  in O(1); dead events are skipped on pop (the standard lazy-deletion
+  heap idiom — cheaper than heap surgery and amortized O(log n)).
+* **No co-routines.**  Handlers are plain callables; components keep
+  explicit state machines.  This is intentional: the HTM controllers
+  are specified as state machines (MSI tables), and explicit states are
+  what the protocol invariant checks inspect.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue", "Simulator"]
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)``; ``seq`` is assigned by the queue.
+    """
+
+    time: float
+    handler: Callable[..., None]
+    args: tuple = ()
+    label: str = ""
+    seq: int = field(default=-1, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        self.handler(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` with lazy deletion."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, event: Event) -> Event:
+        if not math.isfinite(event.time):
+            raise SimulationError(f"event time must be finite, got {event.time}")
+        event.seq = next(self._counter)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event | None:
+        """Pop the earliest live event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+
+class Simulator:
+    """Simulation facade: a clock plus an event queue.
+
+    Components schedule work with :meth:`at` / :meth:`after`; the main
+    loop (:meth:`run`) advances the clock to each event in order.  Time
+    is a float (the HTM layer uses integral cycle counts stored in
+    floats; exactness holds below 2**53 cycles, far beyond any run).
+    """
+
+    def __init__(self, *, profile: bool = False) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.events_fired = 0
+        self._running = False
+        # optional per-label event counts (cheap profiling: which
+        # component dominates the event stream)
+        self._profile: dict[str, int] | None = {} if profile else None
+
+    # -- scheduling -------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        handler: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``handler(*args)`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        return self.queue.push(Event(time, handler, args, label))
+
+    def after(
+        self,
+        delay: float,
+        handler: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``handler(*args)`` after a relative ``delay`` >= 0."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + delay, handler, *args, label=label)
+
+    def cancel(self, event: Event) -> None:
+        self.queue.cancel(event)
+
+    # -- main loop ---------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError(
+                f"event queue produced a past event: {event.time} < {self.now}"
+            )
+        self.now = event.time
+        self.events_fired += 1
+        if self._profile is not None:
+            label = event.label or "<unlabeled>"
+            self._profile[label] = self._profile.get(label, 0) + 1
+        event.fire()
+        return True
+
+    def run(
+        self,
+        until: float = math.inf,
+        *,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Run until the queue drains, ``until`` is reached, ``stop_when``
+        returns True, or ``max_events`` have fired.  Returns the final
+        clock value.
+
+        ``until`` is exclusive: an event at exactly ``until`` does not
+        fire, and the clock is advanced to ``until`` when the horizon is
+        the binding stop condition.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if stop_when is not None and stop_when():
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                nxt = self.queue.peek_time()
+                if nxt is None:
+                    break
+                if nxt >= until:
+                    self.now = max(self.now, min(until, nxt))
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return self.now
+
+    def event_profile(self) -> dict[str, int]:
+        """Fired-event counts by label (empty unless constructed with
+        ``profile=True`` — counting costs a dict update per event)."""
+        return dict(self._profile) if self._profile is not None else {}

@@ -1,0 +1,181 @@
+"""Online statistics accumulators.
+
+Experiments run millions of trials; storing every sample would dominate
+memory, so aggregation is online: Welford's algorithm for mean/variance
+(numerically stable — naive sum-of-squares cancels catastrophically at
+the magnitudes the cost model produces), a ratio tracker for
+competitive-ratio accounting, and a fixed-bin histogram.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["Welford", "RatioTracker", "Histogram"]
+
+
+class Welford:
+    """Streaming mean/variance/min/max (Welford's online algorithm)."""
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def add_many(self, xs: np.ndarray) -> None:
+        """Merge a batch (vectorized via the parallel-merge formula)."""
+        xs = np.asarray(xs, dtype=float)
+        if xs.size == 0:
+            return
+        n_b = xs.size
+        mean_b = float(xs.mean())
+        m2_b = float(((xs - mean_b) ** 2).sum())
+        if self.n == 0:
+            self.n, self._mean, self._m2 = n_b, mean_b, m2_b
+        else:
+            n_a = self.n
+            delta = mean_b - self._mean
+            total = n_a + n_b
+            self._mean += delta * n_b / total
+            self._m2 += m2_b + delta * delta * n_a * n_b / total
+            self.n = total
+        self.min = min(self.min, float(xs.min()))
+        self.max = max(self.max, float(xs.max()))
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n - 1 denominator)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else math.nan
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.n) if self.n > 1 else math.nan
+
+    def merge(self, other: "Welford") -> "Welford":
+        """Combine two accumulators (for per-thread partials)."""
+        out = Welford()
+        for acc in (self, other):
+            if acc.n == 0:
+                continue
+            if out.n == 0:
+                out.n, out._mean, out._m2 = acc.n, acc._mean, acc._m2
+                out.min, out.max = acc.min, acc.max
+            else:
+                delta = acc._mean - out._mean
+                total = out.n + acc.n
+                out._mean += delta * acc.n / total
+                out._m2 += acc._m2 + delta * delta * out.n * acc.n / total
+                out.n = total
+                out.min = min(out.min, acc.min)
+                out.max = max(out.max, acc.max)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Welford n={self.n} mean={self.mean:.4g} std={self.std:.4g}>"
+
+
+class RatioTracker:
+    """Accumulate numerator/denominator sums for a global ratio.
+
+    Used for Corollary 1 accounting (sum of online running times over
+    sum of offline running times) where averaging per-trial ratios would
+    be the wrong statistic.
+    """
+
+    __slots__ = ("num", "den", "n")
+
+    def __init__(self) -> None:
+        self.num = 0.0
+        self.den = 0.0
+        self.n = 0
+
+    def add(self, numerator: float, denominator: float) -> None:
+        if denominator < 0 or numerator < 0:
+            raise InvalidParameterError("ratio components must be >= 0")
+        self.num += numerator
+        self.den += denominator
+        self.n += 1
+
+    @property
+    def ratio(self) -> float:
+        return self.num / self.den if self.den > 0 else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RatioTracker {self.num:.4g}/{self.den:.4g}={self.ratio:.4g}>"
+
+
+class Histogram:
+    """Fixed-bin histogram over ``[lo, hi)`` with under/overflow bins."""
+
+    def __init__(self, lo: float, hi: float, bins: int) -> None:
+        if not (math.isfinite(lo) and math.isfinite(hi)) or hi <= lo:
+            raise InvalidParameterError(f"bad histogram range [{lo}, {hi})")
+        if bins < 1:
+            raise InvalidParameterError(f"need >= 1 bin, got {bins}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = bins
+        self.counts = np.zeros(bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+
+    def add(self, x: float) -> None:
+        if x < self.lo:
+            self.underflow += 1
+        elif x >= self.hi:
+            self.overflow += 1
+        else:
+            idx = int((x - self.lo) / (self.hi - self.lo) * self.bins)
+            self.counts[min(idx, self.bins - 1)] += 1
+
+    def add_many(self, xs: np.ndarray) -> None:
+        xs = np.asarray(xs, dtype=float)
+        self.underflow += int((xs < self.lo).sum())
+        self.overflow += int((xs >= self.hi).sum())
+        inside = xs[(xs >= self.lo) & (xs < self.hi)]
+        if inside.size:
+            idx = ((inside - self.lo) / (self.hi - self.lo) * self.bins).astype(int)
+            np.add.at(self.counts, np.minimum(idx, self.bins - 1), 1)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def edges(self) -> np.ndarray:
+        return np.linspace(self.lo, self.hi, self.bins + 1)
+
+    def density(self) -> np.ndarray:
+        """Normalized bin densities (integrates to the in-range mass)."""
+        total = self.total
+        if total == 0:
+            return np.zeros(self.bins)
+        width = (self.hi - self.lo) / self.bins
+        return self.counts / (total * width)

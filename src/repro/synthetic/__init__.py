@@ -1,0 +1,11 @@
+"""Synthetic policy testbed (Section 8.1)."""
+
+from __future__ import annotations
+
+from repro.synthetic.harness import (
+    SyntheticHarness,
+    SyntheticResult,
+    default_policy_suite,
+)
+
+__all__ = ["SyntheticHarness", "SyntheticResult", "default_policy_suite"]

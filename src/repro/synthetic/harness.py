@@ -1,0 +1,199 @@
+"""The Section 8.1 synthetic testbed.
+
+Per trial (quoting the paper's procedure): draw the transaction length
+``r`` from a given length distribution; pick the interrupt point ``i``
+uniformly at random from that length (so the unknown remaining time is
+``D = r - i``); let each policy pick its delay ``j``; score the conflict
+cost under the policy's cost model.  Averages over many trials populate
+Figure 2's bars.
+
+All trials for a policy are evaluated in one vectorized pass (one
+``sample`` call on the distribution, one ``sample_many`` on the policy,
+one ``cost_vec`` on the model).
+
+Two harness details the paper leaves implicit, both configurable:
+
+* ``mu_source`` — the mean fed to the constrained policies.  The figure
+  captions quote the *length* mean (µ = 500), so ``"length"`` is the
+  default; ``"remaining"`` uses the true mean of ``D`` (= µ/2 under the
+  uniform interrupt), the quantity the theorems actually constrain.
+* ``interrupt`` — ``"uniform"`` implements the paper's procedure;
+  ``"direct"`` feeds the drawn value in as ``D`` itself, which is how
+  the Figure 2c worst-case adversary chooses the remaining time
+  directly (Theorem 4's lower-bound argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.oracle import ClairvoyantPolicy
+from repro.core.policy import DelayPolicy
+from repro.core.requestor_aborts import optimal_requestor_aborts
+from repro.core.requestor_wins import optimal_requestor_wins
+from repro.distributions.base import LengthDistribution
+from repro.errors import InvalidParameterError
+from repro.rngutil import ensure_rng
+from repro.sim.stats import Welford
+
+__all__ = ["SyntheticHarness", "SyntheticResult", "default_policy_suite", "PolicyEntry"]
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """A named policy bound to the conflict model it is scored under."""
+
+    label: str
+    policy: DelayPolicy
+    model: ConflictModel
+
+
+def default_policy_suite(
+    B: float, mu: float, k: int = 2
+) -> list[PolicyEntry]:
+    """The six strategies of Figure 2, by their paper abbreviations.
+
+    RRW(mu) / RRA(mu) — randomized with the mean constraint;
+    RRW / RRA — randomized unconstrained; DET — optimal deterministic
+    requestor-wins; OPT — offline optimum (scored as ``min((k-1)D, B)``).
+    """
+    rw = ConflictModel(ConflictKind.REQUESTOR_WINS, B, k)
+    ra = ConflictModel(ConflictKind.REQUESTOR_ABORTS, B, k)
+    entries = [
+        PolicyEntry("RRW(mu)", optimal_requestor_wins(B, k, mu), rw),
+        PolicyEntry("RRA(mu)", optimal_requestor_aborts(B, k, mu), ra),
+        PolicyEntry("RRW", optimal_requestor_wins(B, k), rw),
+        PolicyEntry("RRA", optimal_requestor_aborts(B, k), ra),
+        PolicyEntry("DET", optimal_requestor_wins(B, k, deterministic=True), rw),
+        PolicyEntry("OPT", ClairvoyantPolicy(rw), rw),
+    ]
+    return entries
+
+
+@dataclass
+class SyntheticResult:
+    """Average conflict costs per policy for one (distribution, B, µ)."""
+
+    distribution: str
+    B: float
+    mu: float
+    trials: int
+    stats: dict[str, Welford] = field(default_factory=dict)
+
+    def mean_cost(self, label: str) -> float:
+        return self.stats[label].mean
+
+    def normalized(self, baseline: str = "OPT") -> dict[str, float]:
+        """Mean costs divided by the baseline's mean cost."""
+        base = self.mean_cost(baseline)
+        return {label: acc.mean / base for label, acc in self.stats.items()}
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        """``(label, mean, sem)`` rows sorted by mean cost."""
+        rows = [
+            (label, acc.mean, acc.sem) for label, acc in self.stats.items()
+        ]
+        rows.sort(key=lambda row: row[1])
+        return rows
+
+
+class SyntheticHarness:
+    """Vectorized trial loop over a policy suite."""
+
+    def __init__(
+        self,
+        B: float,
+        mu: float,
+        *,
+        k: int = 2,
+        policies: list[PolicyEntry] | None = None,
+        mu_source: str = "length",
+        interrupt: str = "uniform",
+    ) -> None:
+        if B <= 0 or mu <= 0:
+            raise InvalidParameterError(f"need B > 0 and mu > 0, got {B}, {mu}")
+        if mu_source not in ("length", "remaining"):
+            raise InvalidParameterError(f"unknown mu_source {mu_source!r}")
+        if interrupt not in ("uniform", "direct"):
+            raise InvalidParameterError(f"unknown interrupt mode {interrupt!r}")
+        self.B = float(B)
+        self.mu = float(mu)
+        self.k = k
+        self.mu_source = mu_source
+        self.interrupt = interrupt
+        effective_mu = self.mu if mu_source == "length" else self.mu / 2.0
+        self.policies = (
+            policies
+            if policies is not None
+            else default_policy_suite(B, effective_mu, k)
+        )
+
+    # ------------------------------------------------------------------
+    def draw_remaining(
+        self, dist: LengthDistribution, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``n`` remaining times per the configured interrupt mode."""
+        lengths = dist.sample(n, rng)
+        if self.interrupt == "direct":
+            return lengths
+        # interrupt point i ~ U[0, r); remaining D = r - i = r * (1 - u)
+        # which is r * u' with u' uniform in (0, 1].
+        return lengths * (1.0 - rng.random(n))
+
+    def run(
+        self,
+        dist: LengthDistribution,
+        trials: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        batch: int = 100_000,
+    ) -> SyntheticResult:
+        """Score every policy on ``trials`` conflicts drawn from ``dist``.
+
+        All policies see the *same* remaining-time draws (common random
+        numbers — variance reduction for the cross-policy comparison).
+        """
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        gen = ensure_rng(rng)
+        result = SyntheticResult(
+            distribution=dist.name,
+            B=self.B,
+            mu=self.mu,
+            trials=trials,
+            stats={entry.label: Welford() for entry in self.policies},
+        )
+        done = 0
+        while done < trials:
+            n = min(batch, trials - done)
+            remaining = self.draw_remaining(dist, n, gen)
+            for entry in self.policies:
+                costs = self._score(entry, remaining, gen)
+                result.stats[entry.label].add_many(costs)
+            done += n
+        return result
+
+    def _score(
+        self,
+        entry: PolicyEntry,
+        remaining: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if isinstance(entry.policy, ClairvoyantPolicy):
+            return entry.model.opt_vec(remaining)
+        delays = entry.policy.sample_many(remaining.size, rng)
+        return entry.model.cost_vec(delays, remaining)
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        dists: list[LengthDistribution],
+        trials: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[SyntheticResult]:
+        """One :meth:`run` per distribution (the Figure 2 x-axis)."""
+        gen = ensure_rng(rng)
+        return [self.run(dist, trials, gen) for dist in dists]

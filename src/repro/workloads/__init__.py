@@ -1,0 +1,25 @@
+"""HTM workloads (Section 8.2): contended stack, queue, the 2-of-64
+transactional application (uniform and bimodal), and a shared-counter
+microbenchmark."""
+
+from __future__ import annotations
+
+from repro.workloads.base import OpContext, Operation, Workload
+from repro.workloads.stack import StackWorkload
+from repro.workloads.queue import QueueWorkload
+from repro.workloads.txapp import TxAppWorkload
+from repro.workloads.counter import CounterWorkload
+from repro.workloads.bank import BankWorkload
+from repro.workloads.list_set import ListSetWorkload
+
+__all__ = [
+    "Operation",
+    "OpContext",
+    "Workload",
+    "StackWorkload",
+    "QueueWorkload",
+    "TxAppWorkload",
+    "CounterWorkload",
+    "BankWorkload",
+    "ListSetWorkload",
+]

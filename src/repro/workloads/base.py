@@ -1,0 +1,130 @@
+"""Workload interface for the HTM machine.
+
+A workload owns shared memory layout (installed in
+:meth:`Workload.setup`) and serves :class:`Operation` objects to cores.
+Each operation provides a transactional ``body`` generator and an
+optional lock-free ``fallback`` generator (run after repeated aborts).
+Generators must be **replayable**: an aborted attempt restarts the body
+from scratch, so any resources (e.g. a node address) must be acquired
+in ``__init__`` and reused idempotently.
+
+Workloads also keep a committed-operation log (fed from ``on_commit``)
+that the integration tests use for linearizability-style checking.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.htm.machine import Machine
+    from repro.htm.params import MachineParams
+
+__all__ = ["OpContext", "Operation", "Workload", "NodePool"]
+
+
+@dataclass(frozen=True)
+class OpContext:
+    """Runtime context handed to operation generators."""
+
+    core_id: int
+    rng: np.random.Generator
+
+
+class Operation(abc.ABC):
+    """One logical operation (push, pop, enqueue, app transaction...)."""
+
+    name: str = "op"
+
+    @abc.abstractmethod
+    def body(self, ctx: OpContext) -> Generator:
+        """Transactional path (run between TxBegin/TxEnd by the core)."""
+
+    def fallback(self, ctx: OpContext) -> Generator:
+        """Non-transactional lock-free path; override with
+        :meth:`has_fallback` returning True to enable."""
+        raise NotImplementedError(f"{self.name} has no fallback path")
+
+    def has_fallback(self) -> bool:
+        return False
+
+    def on_commit(self, machine: "Machine", core_id: int, result: object) -> None:
+        """Hook fired when the operation completes (commits or finishes
+        its fallback)."""
+
+
+class Workload(abc.ABC):
+    """Shared state + operation factory."""
+
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def setup(self, machine: "Machine") -> None:
+        """Allocate and initialize shared memory on the machine."""
+
+    @abc.abstractmethod
+    def next_op(self, core_id: int, rng: np.random.Generator) -> Operation | None:
+        """The next operation for a core (None = core goes idle)."""
+
+    @abc.abstractmethod
+    def tuned_delay_cycles(self, params: "MachineParams") -> int:
+        """The hand-tuned grace period for DELAY_TUNED: the profiled
+        mean fast-path transaction duration of this workload."""
+
+    def verify(self, machine: "Machine") -> None:
+        """Post-run logical consistency checks (raise
+        :class:`~repro.errors.WorkloadError` on violation)."""
+
+    # -- common helper -----------------------------------------------------
+    @staticmethod
+    def _require(cond: bool, message: str) -> None:
+        if not cond:
+            raise WorkloadError(message)
+
+
+class NodePool:
+    """Per-thread bump allocator over a preallocated node region.
+
+    Nodes are never recycled within a run (wrap-around only after
+    ``capacity`` allocations), which keeps the lock-free fallback paths
+    safe from ABA at simulation timescales; each node occupies its own
+    cache line to avoid false sharing between threads.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        threads: int,
+        capacity_per_thread: int,
+        words_per_node: int,
+    ) -> None:
+        if capacity_per_thread < 1 or words_per_node < 1:
+            raise WorkloadError("bad node pool geometry")
+        line = machine.params.line_words
+        self.stride = max(words_per_node, line)
+        self.capacity = capacity_per_thread
+        self.base = [
+            machine.alloc(self.stride * capacity_per_thread)
+            for _ in range(threads)
+        ]
+        self._next = [0] * threads
+        self.wrapped = [False] * threads
+
+    def take(self, thread: int) -> int:
+        """Allocate one node; returns its base word address (never 0)."""
+        idx = self._next[thread]
+        self._next[thread] = idx + 1
+        if self._next[thread] >= self.capacity:
+            self._next[thread] = 0
+            self.wrapped[thread] = True
+        addr = self.base[thread] + idx * self.stride
+        if addr == 0:
+            # address 0 doubles as the null pointer; skip it
+            return self.take(thread)
+        return addr

@@ -1,0 +1,88 @@
+"""Shared-counter microworkload: maximal contention on one line.
+
+Every operation increments one shared counter inside a transaction —
+the degenerate high-contention case used by unit/property tests (exact
+final value = committed ops) and by ablations that need conflict chains
+longer than 2 (every core piles onto the same line).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.htm.isa import CAS, Compute, Fence, Read, Write
+from repro.workloads.base import Operation, OpContext, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.htm.machine import Machine
+    from repro.htm.params import MachineParams
+
+__all__ = ["CounterWorkload", "IncrementOp"]
+
+
+class IncrementOp(Operation):
+    name = "increment"
+
+    def __init__(self, workload: "CounterWorkload") -> None:
+        self.workload = workload
+
+    def body(self, ctx: OpContext) -> Generator:
+        value = yield Read(self.workload.counter_addr)
+        if self.workload.work_cycles:
+            yield Compute(self.workload.work_cycles)
+        yield Write(self.workload.counter_addr, value + 1)
+        return value + 1
+
+    def has_fallback(self) -> bool:
+        return True
+
+    def fallback(self, ctx: OpContext) -> Generator:
+        while True:
+            value = yield Read(self.workload.counter_addr)
+            ok, _ = yield CAS(self.workload.counter_addr, value, value + 1)
+            if ok:
+                return value + 1
+            yield Fence()
+
+    def on_commit(self, machine: "Machine", core_id: int, result: object) -> None:
+        self.workload.committed += 1
+
+
+class CounterWorkload(Workload):
+    """Increment a single shared counter, optionally with body work and
+    a bounded number of total operations (``ops_limit``)."""
+
+    name = "counter"
+
+    def __init__(self, *, work_cycles: int = 0, ops_limit: int | None = None) -> None:
+        self.work_cycles = work_cycles
+        self.ops_limit = ops_limit
+        self.counter_addr = -1
+        self.committed = 0
+        self._issued = 0
+
+    def setup(self, machine: "Machine") -> None:
+        self.counter_addr = machine.alloc(1)
+        machine.poke(self.counter_addr, 0)
+        self.committed = 0
+        self._issued = 0
+
+    def next_op(self, core_id: int, rng: np.random.Generator) -> Operation | None:
+        if self.ops_limit is not None and self._issued >= self.ops_limit:
+            return None
+        self._issued += 1
+        return IncrementOp(self)
+
+    def tuned_delay_cycles(self, params: "MachineParams") -> int:
+        remote = 2 * params.hop + params.dir_lookup + params.l1_hit
+        return remote + self.work_cycles + params.commit_cycles
+
+    def verify(self, machine: "Machine") -> None:
+        value = machine.peek(self.counter_addr)
+        self._require(
+            value == self.committed,
+            f"counter {value} != committed increments {self.committed} "
+            f"(lost or torn update)",
+        )

@@ -1,0 +1,263 @@
+"""Concurrent FIFO queue under HTM (Figure 3, top-right).
+
+Michael-Scott layout — ``HEAD`` and ``TAIL`` on separate cache lines,
+each pointing into a linked list that starts at a dummy node — so the
+transactional fast path and the lock-free CAS fallback share one data
+structure and one set of invariants:
+
+* fast path: enqueue/dequeue wrap the two pointer updates in a
+  transaction (``TAIL`` never lags on this path);
+* slow path: the standard MS algorithm with helping
+  (a lagging ``TAIL`` left by a preempted slow-path enqueue is swung
+  forward by whoever observes it).
+
+Enqueues conflict on the ``TAIL`` line, dequeues on ``HEAD`` — two
+contention hot spots instead of the stack's one, which is why the
+paper's queue sustains lower absolute throughput than its stack.
+
+Verification: dequeues must form a subsequence-consistent FIFO order of
+enqueues; with the commit-window caveat (see stack), we check the
+multiset properties exactly and FIFO order per *enqueuing* core (values
+from one core must leave in their enqueue order — true FIFO implies it,
+and it is robust to log-append skew).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.htm.isa import CAS, AbortTx, Compute, Fence, Read, Write
+from repro.workloads.base import NodePool, Operation, OpContext, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.htm.machine import Machine
+    from repro.htm.params import MachineParams
+
+__all__ = ["QueueWorkload", "EnqueueOp", "DequeueOp", "EMPTY"]
+
+#: Sentinel result for dequeueing an empty queue.
+EMPTY = -1
+
+_VAL = 0
+_NXT = 1
+
+
+class EnqueueOp(Operation):
+    name = "enqueue"
+
+    def __init__(self, workload: "QueueWorkload", node: int, value: int) -> None:
+        self.workload = workload
+        self.node = node
+        self.value = value
+
+    def body(self, ctx: OpContext) -> Generator:
+        w = self.workload
+        yield Write(self.node + _VAL, self.value)
+        yield Write(self.node + _NXT, 0)
+        tail = yield Read(w.tail_addr)
+        nxt = yield Read(tail + _NXT)
+        if nxt != 0:
+            # TAIL lags behind a slow-path enqueue (MS invariant); a
+            # blind link here would overwrite the fallback's node.  The
+            # read of tail.next is in our read set, so a racing CAS on
+            # it conflicts us out — self-abort and retry.
+            yield AbortTx()
+        if w.op_compute:
+            yield Compute(w.op_compute)
+        yield Write(tail + _NXT, self.node)
+        yield Write(w.tail_addr, self.node)
+        return self.value
+
+    def has_fallback(self) -> bool:
+        return True
+
+    def fallback(self, ctx: OpContext) -> Generator:
+        # Michael-Scott enqueue with helping
+        w = self.workload
+        yield Write(self.node + _VAL, self.value)
+        yield Write(self.node + _NXT, 0)
+        while True:
+            tail = yield Read(w.tail_addr)
+            nxt = yield Read(tail + _NXT)
+            if nxt != 0:
+                # tail lags; help swing it
+                yield CAS(w.tail_addr, tail, nxt)
+                yield Fence()
+                continue
+            ok, _ = yield CAS(tail + _NXT, 0, self.node)
+            if ok:
+                yield CAS(w.tail_addr, tail, self.node)
+                return self.value
+            yield Fence()
+
+    def on_commit(self, machine: "Machine", core_id: int, result: object) -> None:
+        self.workload.log.append(("enq", core_id, self.value))
+
+
+class DequeueOp(Operation):
+    name = "dequeue"
+
+    def __init__(self, workload: "QueueWorkload") -> None:
+        self.workload = workload
+
+    def body(self, ctx: OpContext) -> Generator:
+        w = self.workload
+        head = yield Read(w.head_addr)
+        nxt = yield Read(head + _NXT)
+        if nxt == 0:
+            return EMPTY
+        value = yield Read(nxt + _VAL)
+        if w.op_compute:
+            yield Compute(w.op_compute)
+        yield Write(w.head_addr, nxt)
+        return value
+
+    def has_fallback(self) -> bool:
+        return True
+
+    def fallback(self, ctx: OpContext) -> Generator:
+        # Michael-Scott dequeue
+        w = self.workload
+        while True:
+            head = yield Read(w.head_addr)
+            tail = yield Read(w.tail_addr)
+            nxt = yield Read(head + _NXT)
+            if nxt == 0:
+                return EMPTY
+            if head == tail:
+                # tail lags behind a completed enqueue; help
+                yield CAS(w.tail_addr, tail, nxt)
+                yield Fence()
+                continue
+            value = yield Read(nxt + _VAL)
+            ok, _ = yield CAS(w.head_addr, head, nxt)
+            if ok:
+                return value
+            yield Fence()
+
+    def on_commit(self, machine: "Machine", core_id: int, result: object) -> None:
+        self.workload.log.append(("deq", core_id, result))
+
+
+class QueueWorkload(Workload):
+    """Enqueue/dequeue mix per core (default: strict alternation).
+
+    ``p_enqueue=None`` alternates (the paper's setup); a float draws
+    enqueues i.i.d. with that probability.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        *,
+        prefill: int = 64,
+        op_compute: int = 0,
+        pool_capacity: int = 1 << 14,
+        p_enqueue: float | None = None,
+    ) -> None:
+        if p_enqueue is not None and not 0.0 <= p_enqueue <= 1.0:
+            raise ValueError(f"p_enqueue must be in [0, 1], got {p_enqueue}")
+        self.prefill = prefill
+        self.op_compute = op_compute
+        self.pool_capacity = pool_capacity
+        self.p_enqueue = p_enqueue
+        self.head_addr = -1
+        self.tail_addr = -1
+        self.pool: NodePool | None = None
+        self.log: list[tuple[str, int, int]] = []
+        self._seq: list[int] = []
+        self._phase: list[int] = []
+
+    def setup(self, machine: "Machine") -> None:
+        n = machine.params.n_cores
+        self.head_addr = machine.alloc(1)
+        self.tail_addr = machine.alloc(1)
+        self.pool = NodePool(machine, n, self.pool_capacity, 2)
+        self._seq = [0] * n
+        self._phase = [0] * n
+        self.log = []
+        dummy = self.pool.take(0)
+        machine.poke(dummy + _VAL, 0)
+        machine.poke(dummy + _NXT, 0)
+        machine.poke(self.head_addr, dummy)
+        machine.poke(self.tail_addr, dummy)
+        # prefill
+        tail = dummy
+        for _ in range(self.prefill):
+            node = self.pool.take(0)
+            value = self._value_for(0, self._next_seq(0))
+            machine.poke(node + _VAL, value)
+            machine.poke(node + _NXT, 0)
+            machine.poke(tail + _NXT, node)
+            machine.poke(self.tail_addr, node)
+            self.log.append(("enq", -1, value))
+            tail = node
+
+    def _value_for(self, core_id: int, seq: int) -> int:
+        return ((core_id + 1) << 32) | seq
+
+    def _next_seq(self, core_id: int) -> int:
+        self._seq[core_id] += 1
+        return self._seq[core_id]
+
+    def next_op(self, core_id: int, rng: np.random.Generator) -> Operation:
+        assert self.pool is not None
+        if self.p_enqueue is None:
+            self._phase[core_id] ^= 1
+            is_enq = bool(self._phase[core_id])
+        else:
+            is_enq = bool(rng.random() < self.p_enqueue)
+        if is_enq:
+            node = self.pool.take(core_id)
+            value = self._value_for(core_id, self._next_seq(core_id))
+            return EnqueueOp(self, node, value)
+        return DequeueOp(self)
+
+    def tuned_delay_cycles(self, params: "MachineParams") -> int:
+        remote = 2 * params.hop + params.dir_lookup + params.l1_hit
+        # enqueue touches TAIL and the predecessor's line remotely
+        return 2 * remote + 2 * params.l1_hit + self.op_compute + params.commit_cycles
+
+    def verify(self, machine: "Machine") -> None:
+        enq_order: dict[int, list[int]] = {}
+        enqueued: set[int] = set()
+        for kind, core, value in self.log:
+            if kind == "enq":
+                self._require(value not in enqueued, f"double enqueue {value}")
+                enqueued.add(value)
+                src = value >> 32
+                enq_order.setdefault(src, []).append(value)
+        dequeued: set[int] = set()
+        deq_by_src: dict[int, list[int]] = {}
+        for kind, core, value in self.log:
+            if kind == "deq" and value != EMPTY:
+                self._require(value in enqueued, f"dequeued {value} never enqueued")
+                self._require(value not in dequeued, f"double dequeue {value}")
+                dequeued.add(value)
+                deq_by_src.setdefault(value >> 32, []).append(value)
+        # per-source FIFO: a core's values leave in the order they entered
+        for src, outs in deq_by_src.items():
+            ins = enq_order.get(src, [])
+            positions = {v: i for i, v in enumerate(ins)}
+            idx = [positions[v] for v in outs]
+            self._require(
+                idx == sorted(idx),
+                f"per-source FIFO violated for enqueuer {src}",
+            )
+        # final chain = enqueued - dequeued
+        live: list[int] = []
+        addr = machine.peek(machine.peek(self.head_addr) + _NXT)
+        hops = 0
+        while addr != 0:
+            live.append(machine.peek(addr + _VAL))
+            addr = machine.peek(addr + _NXT)
+            hops += 1
+            self._require(hops <= len(enqueued) + 1, "cycle in queue chain")
+        self._require(
+            sorted(live) == sorted(enqueued - dequeued),
+            f"final queue contents mismatch: {len(live)} live vs "
+            f"{len(enqueued - dequeued)} expected",
+        )

@@ -1,0 +1,234 @@
+"""Concurrent stack under HTM (Figure 3, top-left).
+
+Layout: a ``TOP`` pointer on its own cache line; nodes
+``[value, next]`` each on their own line, bump-allocated per thread.
+Every core alternates push and pop, as in the paper ("the stack ...
+simply alternate inserts and deletes").  The transactional fast path
+wraps the pointer manipulation in one transaction; the slow path is a
+Treiber stack on CAS.
+
+All contention focuses on the ``TOP`` line — short, stable transactions,
+the regime where the paper's hand-tuned delay is near-optimal and the
+online policies should track it closely.
+
+Verification: every pushed value is globally unique
+(``core_id * 2^32 + seq``); :meth:`StackWorkload.verify` replays the
+committed log and checks (1) no value is popped before some push of it
+committed, (2) no double pops, and (3) the final in-memory chain equals
+pushed-minus-popped as a multiset.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.htm.isa import CAS, Compute, Fence, Read, Write
+from repro.workloads.base import NodePool, Operation, OpContext, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.htm.machine import Machine
+    from repro.htm.params import MachineParams
+
+__all__ = ["StackWorkload", "PushOp", "PopOp", "EMPTY"]
+
+#: Sentinel result for popping an empty stack.
+EMPTY = -1
+
+_VAL = 0  # node word offsets
+_NXT = 1
+
+
+class PushOp(Operation):
+    """Push one unique value."""
+
+    name = "push"
+
+    def __init__(self, workload: "StackWorkload", node: int, value: int) -> None:
+        self.workload = workload
+        self.node = node
+        self.value = value
+
+    def body(self, ctx: OpContext) -> Generator:
+        top = yield Read(self.workload.top_addr)
+        yield Write(self.node + _VAL, self.value)
+        yield Write(self.node + _NXT, top)
+        if self.workload.op_compute:
+            yield Compute(self.workload.op_compute)
+        yield Write(self.workload.top_addr, self.node)
+        return self.value
+
+    def has_fallback(self) -> bool:
+        return True
+
+    def fallback(self, ctx: OpContext) -> Generator:
+        # Treiber push
+        while True:
+            top = yield Read(self.workload.top_addr)
+            yield Write(self.node + _VAL, self.value)
+            yield Write(self.node + _NXT, top)
+            ok, _ = yield CAS(self.workload.top_addr, top, self.node)
+            if ok:
+                return self.value
+            yield Fence()
+
+    def on_commit(self, machine: "Machine", core_id: int, result: object) -> None:
+        self.workload.log.append(("push", core_id, self.value))
+
+
+class PopOp(Operation):
+    """Pop (returns :data:`EMPTY` when the stack is empty)."""
+
+    name = "pop"
+
+    def __init__(self, workload: "StackWorkload") -> None:
+        self.workload = workload
+
+    def body(self, ctx: OpContext) -> Generator:
+        top = yield Read(self.workload.top_addr)
+        if top == 0:
+            return EMPTY
+        value = yield Read(top + _VAL)
+        nxt = yield Read(top + _NXT)
+        if self.workload.op_compute:
+            yield Compute(self.workload.op_compute)
+        yield Write(self.workload.top_addr, nxt)
+        return value
+
+    def has_fallback(self) -> bool:
+        return True
+
+    def fallback(self, ctx: OpContext) -> Generator:
+        # Treiber pop
+        while True:
+            top = yield Read(self.workload.top_addr)
+            if top == 0:
+                return EMPTY
+            value = yield Read(top + _VAL)
+            nxt = yield Read(top + _NXT)
+            ok, _ = yield CAS(self.workload.top_addr, top, nxt)
+            if ok:
+                return value
+            yield Fence()
+
+    def on_commit(self, machine: "Machine", core_id: int, result: object) -> None:
+        self.workload.log.append(("pop", core_id, result))
+
+
+class StackWorkload(Workload):
+    """Push/pop mix per core, seeded with ``prefill`` elements.
+
+    ``op_compute`` adds fixed body work to each transaction (0 keeps the
+    paper's bare pointer-flip transactions).  ``p_push=None`` (default)
+    strictly alternates push and pop, matching the paper's "simply
+    alternate inserts and deletes"; a float draws pushes i.i.d. with
+    that probability (a push-heavy mix grows the stack, a pop-heavy one
+    drains it into EMPTY returns).
+    """
+
+    name = "stack"
+
+    def __init__(
+        self,
+        *,
+        prefill: int = 64,
+        op_compute: int = 0,
+        pool_capacity: int = 1 << 14,
+        p_push: float | None = None,
+    ) -> None:
+        if p_push is not None and not 0.0 <= p_push <= 1.0:
+            raise ValueError(f"p_push must be in [0, 1], got {p_push}")
+        self.prefill = prefill
+        self.op_compute = op_compute
+        self.pool_capacity = pool_capacity
+        self.p_push = p_push
+        self.top_addr = -1
+        self.pool: NodePool | None = None
+        self.log: list[tuple[str, int, int]] = []
+        self._seq: list[int] = []
+        self._phase: list[int] = []
+
+    # -- setup --------------------------------------------------------------
+    def setup(self, machine: "Machine") -> None:
+        n = machine.params.n_cores
+        self.top_addr = machine.alloc(1)
+        self.pool = NodePool(machine, n, self.pool_capacity, 2)
+        self._seq = [0] * n
+        self.log = []
+        self._phase = [0] * n
+        # prefill with values "pushed" by a virtual setup thread
+        top = 0
+        for i in range(self.prefill):
+            node = self.pool.take(0)
+            value = self._value_for(0, self._next_seq(0))
+            machine.poke(node + _VAL, value)
+            machine.poke(node + _NXT, top)
+            self.log.append(("push", -1, value))
+            top = node
+        machine.poke(self.top_addr, top)
+
+    def _value_for(self, core_id: int, seq: int) -> int:
+        return ((core_id + 1) << 32) | seq
+
+    def _next_seq(self, core_id: int) -> int:
+        self._seq[core_id] += 1
+        return self._seq[core_id]
+
+    # -- op factory -----------------------------------------------------------
+    def next_op(self, core_id: int, rng: np.random.Generator) -> Operation:
+        assert self.pool is not None
+        if self.p_push is None:
+            self._phase[core_id] ^= 1
+            is_push = bool(self._phase[core_id])
+        else:
+            is_push = bool(rng.random() < self.p_push)
+        if is_push:
+            node = self.pool.take(core_id)
+            value = self._value_for(core_id, self._next_seq(core_id))
+            return PushOp(self, node, value)
+        return PopOp(self)
+
+    # -- tuning ----------------------------------------------------------------
+    def tuned_delay_cycles(self, params: "MachineParams") -> int:
+        """Profiled mean fast-path length: ~4 accesses; under contention
+        the TOP access is a remote miss (directory round trip), node
+        accesses are local hits."""
+        remote = 2 * params.hop + params.dir_lookup + params.l1_hit
+        local = 3 * params.l1_hit
+        return remote + local + self.op_compute + params.commit_cycles
+
+    # -- verification ------------------------------------------------------------
+    def verify(self, machine: "Machine") -> None:
+        # Two passes: log-append order can differ from linearization
+        # order by up to the commit latency, so pops are checked against
+        # the full push set rather than a running prefix.
+        pushed: set[int] = set()
+        popped: set[int] = set()
+        for kind, _core, value in self.log:
+            if kind == "push":
+                self._require(value not in pushed, f"double push of {value}")
+                pushed.add(value)
+        for kind, _core, value in self.log:
+            if kind == "pop":
+                if value == EMPTY:
+                    continue
+                self._require(
+                    value in pushed, f"popped value {value} never pushed"
+                )
+                self._require(value not in popped, f"double pop of {value}")
+                popped.add(value)
+        # walk the final chain
+        live: list[int] = []
+        addr = machine.peek(self.top_addr)
+        hops = 0
+        while addr != 0:
+            live.append(machine.peek(addr + _VAL))
+            addr = machine.peek(addr + _NXT)
+            hops += 1
+            self._require(hops <= len(pushed) + 1, "cycle in stack chain")
+        self._require(
+            sorted(live) == sorted(pushed - popped),
+            f"final stack contents mismatch: {len(live)} live vs "
+            f"{len(pushed - popped)} expected",
+        )

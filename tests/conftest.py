@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import ConflictKind, ConflictModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def rw_model() -> ConflictModel:
+    return ConflictModel(ConflictKind.REQUESTOR_WINS, 100.0, 2)
+
+
+@pytest.fixture
+def ra_model() -> ConflictModel:
+    return ConflictModel(ConflictKind.REQUESTOR_ABORTS, 100.0, 2)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration test"
+    )

@@ -1,0 +1,281 @@
+"""Tests for conflict schedules, adversaries, and the arenas."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    Conflict,
+    ConflictLedgerArena,
+    ConflictSchedule,
+    PeriodicAdversary,
+    RandomAdversary,
+    TargetedAdversary,
+    TimedArena,
+    Transaction,
+)
+from repro.adversary.adversaries import make_transactions
+from repro.core.backoff import BackoffPolicy
+from repro.core.model import ConflictKind
+from repro.core.oracle import ClairvoyantPolicy
+from repro.core.policy import ImmediateAbortPolicy, NeverAbortPolicy
+from repro.core.requestor_wins import UniformRW
+from repro.distributions import DeterministicLengths, ExponentialLengths
+from repro.errors import InvalidParameterError, SimulationError
+
+B = 100.0
+
+
+class TestSchedule:
+    def test_transaction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Transaction(0, 0, 0.0)
+
+    def test_conflict_validation(self):
+        txn = Transaction(0, 0, 50.0)
+        with pytest.raises(InvalidParameterError):
+            Conflict(txn, remaining=60.0)  # > rho
+        with pytest.raises(InvalidParameterError):
+            Conflict(txn, remaining=0.0)
+        with pytest.raises(InvalidParameterError):
+            Conflict(txn, remaining=10.0, k=1)
+
+    def test_progress(self):
+        c = Conflict(Transaction(0, 0, 50.0), remaining=20.0)
+        assert c.progress == pytest.approx(30.0)
+
+    def test_total_rho(self):
+        sched = ConflictSchedule(
+            transactions=[Transaction(0, 0, 10.0), Transaction(1, 0, 20.0)]
+        )
+        assert sched.total_rho() == 30.0
+
+    def test_validate_rejects_self_conflict(self):
+        txn = Transaction(0, 0, 50.0)
+        sched = ConflictSchedule(
+            transactions=[txn],
+            conflicts=[Conflict(txn, 10.0, requestor_thread=0)],
+        )
+        with pytest.raises(InvalidParameterError):
+            sched.validate()
+
+    def test_validate_rejects_duplicate_instant(self):
+        txn = Transaction(0, 0, 50.0)
+        sched = ConflictSchedule(
+            transactions=[txn],
+            conflicts=[
+                Conflict(txn, 10.0, requestor_thread=1),
+                Conflict(txn, 10.0, requestor_thread=2),
+            ],
+        )
+        with pytest.raises(InvalidParameterError):
+            sched.validate()
+
+    def test_validate_rejects_unknown_transaction(self):
+        sched = ConflictSchedule(
+            transactions=[Transaction(0, 0, 10.0)],
+            conflicts=[
+                Conflict(Transaction(5, 5, 10.0), 5.0, requestor_thread=1)
+            ],
+        )
+        with pytest.raises(InvalidParameterError):
+            sched.validate()
+
+
+class TestAdversaries:
+    def test_make_transactions_shape(self, rng):
+        txns = make_transactions(4, 10, DeterministicLengths(5.0), rng)
+        assert len(txns) == 40
+        assert {t.thread for t in txns} == {0, 1, 2, 3}
+
+    def test_make_transactions_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            make_transactions(1, 10, DeterministicLengths(5.0), rng)
+
+    def test_random_adversary_rate(self, rng):
+        txns = make_transactions(4, 500, DeterministicLengths(5.0), rng)
+        sched = RandomAdversary(0.5).build(txns, rng)
+        sched.validate()
+        assert 0.4 * len(txns) < len(sched) < 0.6 * len(txns)
+
+    def test_random_adversary_chain_weights(self, rng):
+        txns = make_transactions(4, 500, DeterministicLengths(5.0), rng)
+        sched = RandomAdversary(1.0, chain_weights={2: 0.5, 4: 0.5}).build(
+            txns, rng
+        )
+        ks = sched.chain_sizes()
+        assert set(ks.tolist()) == {2, 4}
+
+    def test_periodic_adversary(self, rng):
+        txns = make_transactions(2, 10, DeterministicLengths(100.0), rng)
+        sched = PeriodicAdversary(fractions=(0.25, 0.5)).build(txns, rng)
+        assert len(sched) == 2 * len(txns)
+        remainders = sorted(set(sched.remaining_times().tolist()))
+        assert remainders == [50.0, 75.0]
+
+    def test_targeted_adversary_overshoot(self, rng):
+        txns = make_transactions(2, 10, DeterministicLengths(500.0), rng)
+        sched = TargetedAdversary(threshold=100.0, k=2).build(txns, rng)
+        assert np.allclose(sched.remaining_times(), 101.0)
+
+    def test_targeted_clamps_to_rho(self, rng):
+        txns = make_transactions(2, 5, DeterministicLengths(50.0), rng)
+        sched = TargetedAdversary(threshold=100.0).build(txns, rng)
+        assert np.allclose(sched.remaining_times(), 50.0)
+
+    def test_adversary_requestor_differs(self, rng):
+        txns = make_transactions(3, 50, DeterministicLengths(5.0), rng)
+        sched = RandomAdversary(1.0).build(txns, rng)
+        for c in sched.conflicts:
+            assert c.requestor_thread != c.receiver.thread
+
+
+class TestLedgerArena:
+    def _schedule(self, rng, mu=200.0):
+        txns = make_transactions(8, 100, ExponentialLengths(mu), rng)
+        return RandomAdversary(0.7).build(txns, rng)
+
+    def test_corollary1_bound_holds(self, rng):
+        sched = self._schedule(rng)
+        arena = ConflictLedgerArena(
+            ConflictKind.REQUESTOR_WINS, B, lambda k: UniformRW(B, k)
+        )
+        out = arena.run(sched, rng)
+        assert out.ratio <= out.corollary1_bound + 0.05
+
+    def test_offline_never_above_online(self, rng):
+        sched = self._schedule(rng)
+        arena = ConflictLedgerArena(
+            ConflictKind.REQUESTOR_WINS, B, lambda k: UniformRW(B, k)
+        )
+        out = arena.run(sched, rng)
+        assert out.offline_total <= out.online_total + 1e-9
+
+    def test_oracle_policy_matches_offline(self, rng):
+        """Driving the arena with the clairvoyant decision reproduces
+        the offline side exactly."""
+        sched = self._schedule(rng)
+
+        class OracleAdapter(ClairvoyantPolicy):
+            def sample_many(self, n, rng=None):
+                raise AssertionError("arena must not sample the oracle")
+
+        from repro.core.model import ConflictModel
+
+        arena = ConflictLedgerArena(
+            ConflictKind.REQUESTOR_WINS, B, lambda k: UniformRW(B, k)
+        )
+        out = arena.run(sched, rng)
+        # offline = sum of OPT costs by construction
+        manual = sum(
+            arena.model_for(c.k).opt(c.remaining) for c in sched.conflicts
+        )
+        assert out.offline_conflict_cost == pytest.approx(manual)
+
+    def test_no_conflicts_ratio_one(self, rng):
+        txns = make_transactions(2, 10, DeterministicLengths(5.0), rng)
+        sched = ConflictSchedule(transactions=txns)
+        arena = ConflictLedgerArena(
+            ConflictKind.REQUESTOR_WINS, B, lambda k: UniformRW(B, k)
+        )
+        out = arena.run(sched, rng)
+        assert out.ratio == 1.0
+        assert out.waste == 0.0
+        assert out.corollary1_bound == 1.0
+
+    def test_never_abort_violates_nothing_but_costs(self, rng):
+        """A pessimal policy still satisfies accounting identities."""
+        sched = self._schedule(rng)
+        arena = ConflictLedgerArena(
+            ConflictKind.REQUESTOR_WINS,
+            B,
+            lambda k: NeverAbortPolicy(horizon=1e9),
+        )
+        out = arena.run(sched, rng)
+        assert out.online_total >= out.offline_total
+
+    def test_policy_cached_per_k(self, rng):
+        arena = ConflictLedgerArena(
+            ConflictKind.REQUESTOR_WINS, B, lambda k: UniformRW(B, k)
+        )
+        assert arena.policy_for(3) is arena.policy_for(3)
+        assert arena.model_for(2).k == 2
+
+
+class TestTimedArena:
+    def test_conflict_free_commit(self, rng):
+        arena = TimedArena()
+        record = arena.run_transaction(100.0, [], ImmediateAbortPolicy(), rng)
+        assert record.committed
+        assert record.attempts == 1
+        assert record.total_time == pytest.approx(100.0)
+
+    def test_never_abort_survives_everything(self, rng):
+        arena = TimedArena()
+        record = arena.run_transaction(
+            100.0, [(50.0, 2), (20.0, 3)], NeverAbortPolicy(horizon=1e9), rng
+        )
+        assert record.committed
+        assert record.attempts == 1
+        # waiters: 1 * 50 + 2 * 20
+        assert record.waiter_delay == pytest.approx(90.0)
+
+    def test_immediate_abort_retries_forever_capped(self, rng):
+        arena = TimedArena(max_attempts=10)
+        record = arena.run_transaction(
+            100.0, [(50.0, 2)], ImmediateAbortPolicy(), rng
+        )
+        assert not record.committed
+        assert record.attempts == 10
+
+    def test_wasted_time_accumulates(self, rng):
+        arena = TimedArena(max_attempts=3)
+        record = arena.run_transaction(
+            100.0, [(50.0, 2)], ImmediateAbortPolicy(), rng
+        )
+        # each attempt wastes progress (50) + delay (0)
+        assert record.total_time == pytest.approx(3 * 50.0)
+
+    def test_backoff_eventually_commits(self, rng):
+        arena = TimedArena()
+        policy = BackoffPolicy(lambda b: UniformRW(b, 2), B0=10.0)
+        record = arena.run_transaction(200.0, [(150.0, 2)], policy, rng)
+        assert record.committed
+        assert record.final_B >= 10.0
+
+    def test_conflicts_struck_chronologically(self, rng):
+        """A later conflict (smaller remaining) only strikes if the
+        earlier one was survived."""
+        arena = TimedArena(max_attempts=1)
+        record = arena.run_transaction(
+            100.0, [(10.0, 2), (90.0, 2)], ImmediateAbortPolicy(), rng
+        )
+        # aborts at the FIRST (remaining=90) conflict: progress 10
+        assert record.total_time == pytest.approx(10.0)
+
+    def test_invalid_inputs(self, rng):
+        arena = TimedArena()
+        with pytest.raises(InvalidParameterError):
+            arena.run_transaction(0.0, [], ImmediateAbortPolicy(), rng)
+        with pytest.raises(SimulationError):
+            arena.run_transaction(
+                10.0, [(20.0, 2)], ImmediateAbortPolicy(), rng
+            )
+        with pytest.raises(SimulationError):
+            arena.run_transaction(
+                10.0, [(5.0, 1)], ImmediateAbortPolicy(), rng
+            )
+
+    def test_run_many(self, rng):
+        arena = TimedArena()
+        records = arena.run_many(
+            np.asarray([50.0, 80.0]),
+            lambda rho: [(rho / 2, 2)],
+            lambda: BackoffPolicy(lambda b: UniformRW(b, 2), B0=20.0),
+            rng,
+        )
+        assert len(records) == 2
+        assert all(r.committed for r in records)

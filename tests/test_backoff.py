@@ -1,0 +1,142 @@
+"""Tests for the Corollary 2 backoff mechanism."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.backoff import (
+    BackoffPolicy,
+    progress_attempt_bound,
+    progress_probability_lb,
+)
+from repro.core.requestor_wins import UniformRW
+from repro.errors import InvalidParameterError
+
+
+def make(B0=50.0, **kwargs) -> BackoffPolicy:
+    return BackoffPolicy(lambda b: UniformRW(b, 2), B0=B0, **kwargs)
+
+
+class TestStateMachine:
+    def test_initial_state(self):
+        policy = make()
+        assert policy.current_B == 50.0
+        assert policy.aborts == 0
+
+    def test_doubling(self):
+        policy = make()
+        policy.record_abort()
+        assert policy.current_B == 100.0
+        policy.record_abort()
+        assert policy.current_B == 200.0
+        assert policy.aborts == 2
+
+    def test_commit_resets(self):
+        policy = make()
+        policy.record_abort()
+        policy.record_commit()
+        assert policy.current_B == 50.0
+        assert policy.aborts == 0
+
+    def test_additive(self):
+        policy = make(factor=1.0, increment=10.0)
+        policy.record_abort()
+        assert policy.current_B == 60.0
+
+    def test_mixed_growth(self):
+        policy = make(factor=2.0, increment=5.0)
+        policy.record_abort()
+        assert policy.current_B == 105.0
+
+    def test_cap(self):
+        policy = make(max_B=120.0)
+        for _ in range(10):
+            policy.record_abort()
+        assert policy.current_B == 120.0
+
+    def test_inner_policy_scales(self, rng):
+        policy = make()
+        lo, hi = policy.support
+        assert hi == pytest.approx(50.0)
+        policy.record_abort()
+        lo, hi = policy.support
+        assert hi == pytest.approx(100.0)
+        assert 0.0 <= policy.sample(rng) <= 100.0
+
+    def test_no_growth_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make(factor=1.0, increment=0.0)
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            make(B0=-1.0)
+        with pytest.raises(InvalidParameterError):
+            make(factor=0.5)
+
+    def test_delegated_distribution(self):
+        policy = make()
+        assert policy.cdf(25.0) == pytest.approx(0.5)
+        assert policy.pdf(10.0) == pytest.approx(1 / 50.0)
+        assert not policy.is_deterministic()
+
+    def test_name_mentions_inner(self):
+        assert "RRW" in make().name
+
+
+class TestAttemptBound:
+    def test_formula(self):
+        # log2(800) + log2(2) + log2(2) - log2(100) + 2
+        raw = math.log2(800) + 1 + 1 - math.log2(100) + 2
+        assert progress_attempt_bound(800.0, 2, 2, 100.0) == math.ceil(raw)
+
+    def test_minimum_one(self):
+        assert progress_attempt_bound(1.0, 1, 2, 1e9) == 1
+
+    def test_monotone_in_y(self):
+        bounds = [progress_attempt_bound(y, 2, 2, 50.0) for y in (10, 100, 1e4)]
+        assert bounds == sorted(bounds)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            progress_attempt_bound(0.0, 1, 2, 10.0)
+        with pytest.raises(InvalidParameterError):
+            progress_attempt_bound(10.0, 0, 2, 10.0)
+
+
+class TestProbabilityLowerBound:
+    def test_half_at_doubled_cost(self):
+        """Once B' >= 2*k*y*gamma the bound gives >= 1/2."""
+        y, gamma, k = 100.0, 4, 2
+        B_big = 2 * k * y * gamma
+        assert progress_probability_lb(y, gamma, k, B_big) >= 0.5
+
+    def test_zero_when_hopeless(self):
+        assert progress_probability_lb(100.0, 1, 2, 50.0) == 0.0
+
+    def test_monotone_in_B(self):
+        vals = [
+            progress_probability_lb(100.0, 2, 2, b) for b in (250.0, 500.0, 5000.0)
+        ]
+        assert vals == sorted(vals)
+
+
+class TestEndToEndProgress:
+    def test_corollary2_monte_carlo(self, rng):
+        """A transaction meeting gamma conflicts per run commits within
+        the bound with probability >= 1/2 (here it is much higher)."""
+        from repro.adversary import TimedArena
+
+        y, gamma, k, B0 = 700.0, 3, 2, 40.0
+        arena = TimedArena()
+        conflicts = [(y * (1 - (i + 0.5) / gamma) + 1, k) for i in range(gamma)]
+        bound = progress_attempt_bound(y, gamma, k, B0)
+        within = 0
+        trials = 200
+        for _ in range(trials):
+            policy = make(B0=B0)
+            record = arena.run_transaction(y, conflicts, policy, rng)
+            assert record.committed
+            within += record.attempts <= bound
+        assert within / trials >= 0.5

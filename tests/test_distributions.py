@@ -1,0 +1,176 @@
+"""Tests for the transaction-length distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    BimodalLengths,
+    DeterministicLengths,
+    ExponentialLengths,
+    GeometricLengths,
+    MixtureLengths,
+    NormalLengths,
+    PointMassRemaining,
+    PoissonLengths,
+    UniformLengths,
+    WorstCaseForDeterministic,
+    get_distribution,
+)
+from repro.distributions.base import DISTRIBUTION_REGISTRY
+from repro.errors import InvalidParameterError
+
+MU = 500.0
+ALL_STANDARD = [
+    GeometricLengths,
+    NormalLengths,
+    UniformLengths,
+    ExponentialLengths,
+    PoissonLengths,
+    DeterministicLengths,
+    BimodalLengths,
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("cls", ALL_STANDARD)
+    def test_positive_samples(self, cls, rng):
+        dist = cls(MU)
+        samples = dist.sample(5000, rng)
+        assert samples.shape == (5000,)
+        assert np.all(samples > 0)
+
+    @pytest.mark.parametrize("cls", ALL_STANDARD)
+    def test_empirical_mean_matches(self, cls, rng):
+        dist = cls(MU)
+        samples = dist.sample(100_000, rng)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.03)
+
+    @pytest.mark.parametrize("cls", ALL_STANDARD)
+    def test_seed_determinism(self, cls):
+        dist = cls(MU)
+        a = dist.sample(100, 7)
+        b = dist.sample(100, 7)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("cls", ALL_STANDARD)
+    def test_invalid_mean(self, cls):
+        with pytest.raises(InvalidParameterError):
+            cls(-1.0)
+
+    @pytest.mark.parametrize("cls", ALL_STANDARD)
+    def test_sample_one(self, cls, rng):
+        value = cls(MU).sample_one(rng)
+        assert isinstance(value, float)
+        assert value > 0
+
+
+class TestSpecifics:
+    def test_geometric_integer_valued(self, rng):
+        samples = GeometricLengths(MU).sample(1000, rng)
+        assert np.allclose(samples, np.round(samples))
+        assert samples.min() >= 1.0
+
+    def test_geometric_needs_mean_ge_one(self):
+        with pytest.raises(InvalidParameterError):
+            GeometricLengths(0.5)
+
+    def test_normal_truncation(self, rng):
+        samples = NormalLengths(5.0, rel_std=0.9).sample(20_000, rng)
+        assert samples.min() >= 1.0
+
+    def test_normal_spread(self, rng):
+        dist = NormalLengths(MU)
+        samples = dist.sample(50_000, rng)
+        assert samples.std() == pytest.approx(MU * 0.25, rel=0.05)
+
+    def test_uniform_range(self, rng):
+        samples = UniformLengths(MU).sample(50_000, rng)
+        assert samples.min() > 0.0
+        assert samples.max() <= 2 * MU
+
+    def test_poisson_conditioned_positive(self, rng):
+        samples = PoissonLengths(2.0).sample(20_000, rng)
+        assert samples.min() >= 1.0
+
+    def test_deterministic_constant(self, rng):
+        assert set(DeterministicLengths(7.0).sample(50, rng).tolist()) == {7.0}
+
+    def test_bimodal_two_modes(self, rng):
+        dist = BimodalLengths(MU)
+        samples = dist.sample(10_000, rng)
+        modes = set(np.round(samples, 6).tolist())
+        assert len(modes) == 2
+        assert dist.long == pytest.approx(dist.short * 20)
+
+    def test_bimodal_mean_construction(self):
+        dist = BimodalLengths(MU, long_factor=10.0, p_long=0.25)
+        assert 0.75 * dist.short + 0.25 * dist.long == pytest.approx(MU)
+
+    def test_bimodal_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            BimodalLengths(MU, long_factor=0.5)
+        with pytest.raises(InvalidParameterError):
+            BimodalLengths(MU, p_long=0.0)
+
+
+class TestAdversarial:
+    def test_point_mass(self, rng):
+        dist = PointMassRemaining(42.0)
+        assert set(dist.sample(10, rng).tolist()) == {42.0}
+        assert dist.mean == 42.0
+
+    def test_worst_case_band(self, rng):
+        B = 100.0
+        dist = WorstCaseForDeterministic(B, k=2, width=0.05)
+        samples = dist.sample(10_000, rng)
+        assert np.all(samples >= B)
+        assert np.all(samples <= B * 1.05)
+
+    def test_worst_case_forces_det_to_three(self, rng):
+        """DET aborts at B; remaining just above B -> cost 3B, OPT B."""
+        from repro.core.model import ConflictKind, ConflictModel
+        from repro.core.requestor_wins import DeterministicRW
+
+        B = 100.0
+        model = ConflictModel(ConflictKind.REQUESTOR_WINS, B, 2)
+        dist = WorstCaseForDeterministic(B, width=0.01)
+        policy = DeterministicRW(B, 2)
+        d = dist.sample(1000, rng)
+        costs = model.cost_vec(policy.sample_many(1000, rng), d)
+        opts = model.opt_vec(d)
+        assert (costs / opts).mean() == pytest.approx(3.0, rel=1e-6)
+
+    def test_worst_case_mixture_mode(self, rng):
+        dist = WorstCaseForDeterministic(100.0, p_evil=0.5)
+        samples = dist.sample(50_000, rng)
+        evil = samples >= 100.0
+        assert 0.45 < evil.mean() < 0.55
+
+    def test_mixture(self, rng):
+        mix = MixtureLengths(
+            [DeterministicLengths(10.0), DeterministicLengths(30.0)],
+            [1.0, 3.0],
+        )
+        samples = mix.sample(40_000, rng)
+        assert mix.mean == pytest.approx(25.0)
+        assert samples.mean() == pytest.approx(25.0, rel=0.02)
+
+    def test_mixture_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            MixtureLengths([], [])
+        with pytest.raises(InvalidParameterError):
+            MixtureLengths([DeterministicLengths(1.0)], [-1.0])
+
+
+class TestRegistry:
+    def test_paper_distributions_registered(self):
+        for name in ("geometric", "normal", "uniform", "exponential", "poisson"):
+            assert name in DISTRIBUTION_REGISTRY
+            dist = get_distribution(name, MU)
+            assert dist.name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(InvalidParameterError):
+            get_distribution("cauchy", MU)

@@ -1,0 +1,116 @@
+"""Tests for the hybrid resolver and the clairvoyant oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridResolver
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.oracle import ClairvoyantPolicy
+from repro.core.ratios import rand_ra_ratio, rand_rw_optimal_ratio
+from repro.errors import InvalidParameterError
+
+B = 200.0
+
+
+class TestHybrid:
+    def test_k2_picks_requestor_aborts(self):
+        assert (
+            HybridResolver(B).preferred_kind(2)
+            is ConflictKind.REQUESTOR_ABORTS
+        )
+
+    @pytest.mark.parametrize("k", [3, 4, 10])
+    def test_k3plus_picks_requestor_wins(self, k):
+        assert HybridResolver(B).preferred_kind(k) is ConflictKind.REQUESTOR_WINS
+
+    def test_hybrid_ratio_is_min(self):
+        resolver = HybridResolver(B)
+        for k in (2, 3, 6):
+            decision = resolver.resolve(k, rng=0)
+            assert decision.expected_ratio == pytest.approx(
+                min(rand_rw_optimal_ratio(k), rand_ra_ratio(k))
+            )
+
+    def test_pinned_kind(self):
+        resolver = HybridResolver(
+            B, allow_switching=False, pinned_kind=ConflictKind.REQUESTOR_WINS
+        )
+        assert resolver.preferred_kind(2) is ConflictKind.REQUESTOR_WINS
+
+    def test_policy_cache_reuse(self):
+        resolver = HybridResolver(B)
+        assert resolver.policy_for(3) is resolver.policy_for(3)
+
+    def test_resolve_delay_within_support(self):
+        resolver = HybridResolver(B)
+        for k in (2, 5):
+            decision = resolver.resolve(k, rng=7)
+            lo, hi = decision.policy.support
+            assert lo <= decision.delay <= hi
+
+    def test_mu_passed_through(self):
+        resolver = HybridResolver(B, mu=10.0)
+        policy = resolver.policy_for(2)
+        assert "mu" in policy.name
+
+    def test_model_for(self):
+        model = HybridResolver(B).model_for(4)
+        assert model.kind is ConflictKind.REQUESTOR_WINS
+        assert model.k == 4
+
+
+class TestOracle:
+    def test_waits_when_cheap(self, rw_model):
+        oracle = ClairvoyantPolicy(rw_model)
+        assert oracle.decide(30.0) == 30.0
+
+    def test_aborts_when_expensive(self, rw_model):
+        oracle = ClairvoyantPolicy(rw_model)
+        assert oracle.decide(150.0) == 0.0
+
+    def test_boundary_waits(self, rw_model):
+        # (k-1)*D == B: waiting costs exactly B, same as abort
+        oracle = ClairvoyantPolicy(rw_model)
+        assert oracle.decide(rw_model.B) == rw_model.B
+
+    def test_chain_threshold(self):
+        model = ConflictModel(ConflictKind.REQUESTOR_WINS, 100.0, 5)
+        oracle = ClairvoyantPolicy(model)
+        assert oracle.decide(20.0) == 20.0
+        assert oracle.decide(30.0) == 0.0
+
+    def test_vectorized(self, rw_model, rng):
+        oracle = ClairvoyantPolicy(rw_model)
+        d = rng.random(100) * 300
+        vec = oracle.decide_vec(d)
+        for i in range(0, 100, 11):
+            assert vec[i] == oracle.decide(float(d[i]))
+
+    def test_cost_is_opt(self, rw_model):
+        oracle = ClairvoyantPolicy(rw_model)
+        assert oracle.cost(30.0) == rw_model.opt(30.0)
+
+    def test_achieves_opt_cost_through_model(self, rw_model, rng):
+        oracle = ClairvoyantPolicy(rw_model)
+        for _ in range(100):
+            d = float(rng.random() * 300)
+            assert rw_model.cost(oracle.decide(d), d) == pytest.approx(
+                rw_model.opt(d)
+            )
+
+    def test_online_interface_guarded(self, rw_model):
+        oracle = ClairvoyantPolicy(rw_model)
+        with pytest.raises(NotImplementedError):
+            oracle.sample()
+        with pytest.raises(NotImplementedError):
+            oracle.cdf(1.0)
+
+    def test_invalid_remaining(self, rw_model):
+        with pytest.raises(InvalidParameterError):
+            ClairvoyantPolicy(rw_model).decide(-1.0)
+
+    def test_needs_model(self):
+        with pytest.raises(InvalidParameterError):
+            ClairvoyantPolicy("nope")  # type: ignore[arg-type]

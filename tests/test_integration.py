@@ -1,0 +1,226 @@
+"""Cross-module integration tests: theory vs simulation agreement,
+HTM end-to-end consistency, and experiment-level shape checks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.ratios import E_OVER_EM1, corollary1_bound
+from repro.core.requestor_aborts import ExponentialRA
+from repro.core.requestor_wins import MeanConstrainedRW, UniformRW
+from repro.core.verify import expected_cost_curve, simulate_costs
+from repro.distributions import ExponentialLengths, UniformLengths
+from repro.htm import (
+    DetDelay,
+    Machine,
+    MachineParams,
+    NoDelay,
+    RandDelay,
+    RRWMeanDelay,
+    TunedDelay,
+)
+from repro.workloads import QueueWorkload, StackWorkload, TxAppWorkload
+
+B = 150.0
+
+
+class TestTheoryVsMonteCarlo:
+    """The synthetic simulator must agree with quadrature to MC noise."""
+
+    @pytest.mark.parametrize(
+        "policy,kind",
+        [
+            (UniformRW(B, 2), ConflictKind.REQUESTOR_WINS),
+            (MeanConstrainedRW(B, 15.0), ConflictKind.REQUESTOR_WINS),
+            (ExponentialRA(B, 2), ConflictKind.REQUESTOR_ABORTS),
+            (ExponentialRA(B, 4), ConflictKind.REQUESTOR_ABORTS),
+        ],
+        ids=["uniform", "mean_rw", "exp_ra", "exp_ra_k4"],
+    )
+    def test_mc_matches_quadrature(self, policy, kind, rng):
+        model = ConflictModel(kind, B, getattr(policy, "k", 2))
+        ds = np.asarray([5.0, 30.0, 80.0, model.delay_cap * 0.9])
+        theory = expected_cost_curve(policy, model, ds)
+        for d, expected in zip(ds, theory):
+            mc = simulate_costs(policy, model, float(d), rng, n=120_000).mean()
+            assert mc == pytest.approx(expected, rel=0.03)
+
+    def test_empirical_ratio_against_random_adversary(self, rng):
+        """Average ratio over random remaining times never exceeds the
+        sup-ratio guarantee."""
+        model = ConflictModel(ConflictKind.REQUESTOR_WINS, B, 2)
+        policy = UniformRW(B, 2)
+        d = (1.0 - rng.random(100_000)) * 2 * B
+        costs = simulate_costs(policy, model, d, rng)
+        ratio = costs.sum() / model.opt_vec(d).sum()
+        assert ratio <= 2.0 + 0.02
+
+
+class TestHTMDelayStatistics:
+    """The cycle-level policies must produce the distributions the
+    theory prescribes, measured inside a real machine run."""
+
+    def test_rand_delay_uniform_in_machine(self):
+        workload = TxAppWorkload(work_cycles=80)
+        machine = Machine(MachineParams(n_cores=8), lambda i: RandDelay())
+        machine.load(workload, seed=3)
+        stats = machine.run(150_000.0)
+        workload.verify(machine)
+        acc = None
+        for core_stats in stats.cores:
+            acc = (
+                core_stats.grace_delay_stats
+                if acc is None
+                else acc.merge(core_stats.grace_delay_stats)
+            )
+        assert acc is not None and acc.n > 20
+        assert acc.min >= 0.0
+
+    def test_no_delay_zero_graces(self):
+        workload = StackWorkload()
+        machine = Machine(MachineParams(n_cores=6), lambda i: NoDelay())
+        machine.load(workload, seed=3)
+        stats = machine.run(80_000.0)
+        for core_stats in stats.cores:
+            if core_stats.grace_delay_stats.n:
+                assert core_stats.grace_delay_stats.max == 0.0
+
+
+@pytest.mark.slow
+class TestFigure3Shapes:
+    """Qualitative Figure 3 claims at a contended operating point."""
+
+    def _throughput(self, workload_factory, policy_factory, seeds=(0, 1, 2)):
+        total = 0
+        for seed in seeds:
+            workload = workload_factory()
+            machine = Machine(MachineParams(n_cores=8), policy_factory)
+            machine.load(workload, seed=seed)
+            stats = machine.run(200_000.0)
+            workload.verify(machine)
+            total += stats.ops_completed
+        return total / len(seeds)
+
+    def test_queue_delays_beat_no_delay(self):
+        base = self._throughput(QueueWorkload, lambda i: NoDelay())
+        rand = self._throughput(QueueWorkload, lambda i: RandDelay())
+        assert rand > base
+
+    def test_stack_tuned_beats_no_delay(self):
+        params = MachineParams(n_cores=8)
+        tuned = StackWorkload().tuned_delay_cycles(params)
+        base = self._throughput(StackWorkload, lambda i: NoDelay())
+        hand = self._throughput(StackWorkload, lambda i: TunedDelay(tuned))
+        assert hand > base * 0.95  # at worst competitive with NO_DELAY
+
+    def test_txapp_delays_beat_no_delay(self):
+        factory = lambda: TxAppWorkload(work_cycles=100)  # noqa: E731
+        base = self._throughput(factory, lambda i: NoDelay())
+        rand = self._throughput(factory, lambda i: RandDelay())
+        assert rand > base * 0.95
+
+    def test_single_thread_policies_equal(self):
+        """Uncontended runs must be policy-independent (delays only act
+        on conflicts; the paper: 'does not adversely impact performance
+        in uncontended' runs)."""
+        results = []
+        for factory in (lambda i: NoDelay(), lambda i: RandDelay()):
+            workload = StackWorkload()
+            machine = Machine(MachineParams(n_cores=1), factory)
+            machine.load(workload, seed=5)
+            stats = machine.run(100_000.0)
+            results.append(stats.ops_completed)
+        assert results[0] == results[1]
+
+
+@pytest.mark.slow
+class TestArenaVsTheory:
+    def test_cor1_bound_over_contention_sweep(self, rng):
+        from repro.adversary import ConflictLedgerArena, RandomAdversary
+        from repro.adversary.adversaries import make_transactions
+
+        arena = ConflictLedgerArena(
+            ConflictKind.REQUESTOR_WINS, B, lambda k: UniformRW(B, k)
+        )
+        for p_conflict in (0.1, 0.5, 1.0):
+            txns = make_transactions(8, 150, ExponentialLengths(300.0), rng)
+            sched = RandomAdversary(p_conflict, max_hits=2).build(txns, rng)
+            out = arena.run(sched, rng)
+            assert out.ratio <= corollary1_bound(out.waste) + 0.05
+
+    def test_ra_policy_in_ra_arena(self, rng):
+        """The RA arena with the exponential policy also stays under its
+        per-conflict ratio bound globally."""
+        from repro.adversary import ConflictLedgerArena, RandomAdversary
+        from repro.adversary.adversaries import make_transactions
+
+        arena = ConflictLedgerArena(
+            ConflictKind.REQUESTOR_ABORTS, B, lambda k: ExponentialRA(B, k)
+        )
+        txns = make_transactions(6, 200, UniformLengths(200.0), rng)
+        sched = RandomAdversary(0.8).build(txns, rng)
+        out = arena.run(sched, rng)
+        # per-conflict ratio e/(e-1) -> global bound (rho + C*alpha)/(rho+alpha)
+        w = out.waste
+        bound = (1 + E_OVER_EM1 * w) / (1 + w)
+        assert out.ratio <= bound + 0.05
+
+
+@pytest.mark.slow
+class TestHTMStress:
+    """Longer randomized runs across policies; every invariant checked."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_workloads_all_policies(self, seed):
+        policies = [
+            lambda i: NoDelay(),
+            lambda i: RandDelay(),
+            lambda i: DetDelay(),
+            lambda i: RRWMeanDelay(60.0),
+        ]
+        workloads = [
+            StackWorkload(),
+            QueueWorkload(),
+            TxAppWorkload(work_cycles=60),
+        ]
+        for policy_factory in policies:
+            for workload_factory in (
+                StackWorkload,
+                QueueWorkload,
+                lambda: TxAppWorkload(work_cycles=60),
+            ):
+                workload = workload_factory()
+                machine = Machine(
+                    MachineParams(n_cores=6), policy_factory
+                )
+                machine.load(workload, seed=seed)
+                machine.run(60_000.0)
+                workload.verify(machine)
+                machine.check_invariants()
+
+    def test_tiny_cache_capacity_aborts(self):
+        """A 2-line L1 forces capacity aborts; correctness must hold."""
+        workload = TxAppWorkload(work_cycles=10)
+        params = MachineParams(n_cores=4, l1_sets=1, l1_assoc=2)
+        machine = Machine(params, lambda i: RandDelay())
+        machine.load(workload, seed=2)
+        stats = machine.run(60_000.0)
+        workload.verify(machine)
+        assert stats.abort_reasons().get("capacity", 0) > 0
+
+    def test_no_cycle_detection_still_correct(self):
+        """Grace timers alone guarantee progress; disabling cycle
+        detection must not break safety."""
+        workload = QueueWorkload()
+        machine = Machine(
+            MachineParams(n_cores=6), lambda i: DetDelay(), detect_cycles=False
+        )
+        machine.load(workload, seed=4)
+        stats = machine.run(80_000.0)
+        workload.verify(machine)
+        assert machine.stats.cycle_aborts == 0
+        assert stats.ops_completed > 0

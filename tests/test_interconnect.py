@@ -1,0 +1,128 @@
+"""Tests for interconnect topologies and the mesh-backed machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.htm import Machine, MachineParams, NoDelay, RandDelay
+from repro.htm.interconnect import FixedLatency, MeshTopology
+from repro.workloads import CounterWorkload, QueueWorkload
+
+
+class TestFixedLatency:
+    def test_uniform(self):
+        topo = FixedLatency(4)
+        assert topo.core_to_dir(0, 99) == 4
+        assert topo.dir_to_core(99, 7) == 4
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FixedLatency(-1)
+
+
+class TestMeshTopology:
+    def test_grid_shape(self):
+        topo = MeshTopology(9)
+        assert (topo.rows, topo.cols) == (3, 3)
+        topo = MeshTopology(8)
+        assert topo.rows * topo.cols >= 8
+
+    def test_positions_distinct(self):
+        topo = MeshTopology(12)
+        positions = {topo.position(t) for t in range(12)}
+        assert len(positions) == 12
+
+    def test_distance_metric(self):
+        topo = MeshTopology(9)  # 3x3
+        assert topo.distance(0, 0) == 0
+        assert topo.distance(0, 8) == 4  # (0,0) -> (2,2)
+        assert topo.distance(3, 4) == 1
+        # symmetry
+        for a in range(9):
+            for b in range(9):
+                assert topo.distance(a, b) == topo.distance(b, a)
+
+    def test_home_interleave(self):
+        topo = MeshTopology(4)
+        assert topo.home_of(0) == 0
+        assert topo.home_of(5) == 1
+        assert topo.home_of(7) == 3
+
+    def test_latency_includes_injection(self):
+        topo = MeshTopology(4, per_hop=3)
+        # same tile as home: distance 0 -> still pays one quantum
+        line_homed_at_0 = 0
+        assert topo.core_to_dir(0, line_homed_at_0) == 3
+
+    def test_latency_scales_with_distance(self):
+        topo = MeshTopology(16, per_hop=2)
+        near = topo.core_to_dir(0, 0)  # home 0 = self
+        far = topo.core_to_dir(0, 15)  # home 15 = opposite corner
+        assert far > near
+        assert far == topo.diameter_latency
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MeshTopology(0)
+        with pytest.raises(InvalidParameterError):
+            MeshTopology(4, per_hop=0)
+        with pytest.raises(InvalidParameterError):
+            MeshTopology(4).position(4)
+        with pytest.raises(InvalidParameterError):
+            MeshTopology(4).home_of(-1)
+
+
+class TestMeshMachine:
+    def test_counter_correct_on_mesh(self):
+        params = MachineParams(n_cores=9)
+        workload = CounterWorkload()
+        machine = Machine(
+            params,
+            lambda i: RandDelay(),
+            topology=MeshTopology(9, per_hop=3),
+        )
+        machine.load(workload, seed=2)
+        stats = machine.run(120_000.0)
+        workload.verify(machine)
+        machine.check_invariants()
+        assert stats.ops_completed > 100
+
+    def test_queue_correct_on_mesh(self):
+        params = MachineParams(n_cores=8)
+        workload = QueueWorkload()
+        machine = Machine(
+            params, lambda i: NoDelay(), topology=MeshTopology(8)
+        )
+        machine.load(workload, seed=3)
+        machine.run(120_000.0)
+        workload.verify(machine)
+
+    def test_mesh_slower_than_fixed_zero(self):
+        """A mesh with real distances must cost throughput vs an ideal
+        zero-latency crossbar (sanity: latencies are actually applied)."""
+
+        def run(topology):
+            workload = CounterWorkload()
+            machine = Machine(
+                MachineParams(n_cores=8),
+                lambda i: NoDelay(),
+                topology=topology,
+            )
+            machine.load(workload, seed=4)
+            return machine.run(100_000.0).ops_completed
+
+        assert run(MeshTopology(8, per_hop=4)) < run(FixedLatency(0))
+
+    def test_deterministic_on_mesh(self):
+        def run():
+            workload = CounterWorkload()
+            machine = Machine(
+                MachineParams(n_cores=6),
+                lambda i: RandDelay(),
+                topology=MeshTopology(6),
+            )
+            machine.load(workload, seed=5)
+            return machine.run(80_000.0).ops_completed
+
+        assert run() == run()

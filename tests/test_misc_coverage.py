@@ -1,0 +1,131 @@
+"""Coverage of smaller behaviours: workload mixes, multi-seed fig3,
+describe/repr surfaces, and continuous-policy grid internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core._continuous import GRID_POINTS
+from repro.core.requestor_wins import MeanConstrainedRW, UniformRW
+from repro.distributions import ExponentialLengths, GeometricLengths
+from repro.htm import Machine, MachineParams, NoDelay, RandDelay
+from repro.workloads import QueueWorkload, StackWorkload
+
+
+class TestWorkloadMixes:
+    def test_push_heavy_grows_stack(self):
+        workload = StackWorkload(prefill=0, p_push=0.9)
+        machine = Machine(MachineParams(n_cores=4), lambda i: RandDelay())
+        machine.load(workload, seed=1)
+        machine.run(60_000.0)
+        workload.verify(machine)
+        pushes = sum(1 for k, _, _ in workload.log if k == "push")
+        pops = sum(1 for k, _, v in workload.log if k == "pop" and v > 0)
+        assert pushes > pops
+
+    def test_pop_heavy_drains_to_empty(self):
+        from repro.workloads.stack import EMPTY
+
+        workload = StackWorkload(prefill=4, p_push=0.05)
+        machine = Machine(MachineParams(n_cores=4), lambda i: NoDelay())
+        machine.load(workload, seed=2)
+        machine.run(60_000.0)
+        workload.verify(machine)
+        empties = sum(
+            1 for k, _, v in workload.log if k == "pop" and v == EMPTY
+        )
+        assert empties > 0
+
+    def test_enqueue_mix(self):
+        workload = QueueWorkload(p_enqueue=0.8)
+        machine = Machine(MachineParams(n_cores=4), lambda i: RandDelay())
+        machine.load(workload, seed=3)
+        machine.run(60_000.0)
+        workload.verify(machine)
+        enqs = sum(1 for k, _, _ in workload.log if k == "enq")
+        deqs = sum(1 for k, _, v in workload.log if k == "deq" and v > 0)
+        assert enqs > deqs
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            StackWorkload(p_push=1.5)
+        with pytest.raises(ValueError):
+            QueueWorkload(p_enqueue=-0.1)
+
+    def test_alternation_is_default(self):
+        workload = StackWorkload()
+        assert workload.p_push is None
+
+
+class TestFig3Repeats:
+    def test_repeats_add_sem(self):
+        from repro.experiments.fig3 import run_fig3
+        from repro.workloads import TxAppWorkload
+
+        rows = run_fig3(
+            lambda: TxAppWorkload(work_cycles=50),
+            threads=(2,),
+            policies=("NO_DELAY",),
+            horizon=20_000.0,
+            seed=1,
+            repeats=3,
+        )
+        assert "sem" in rows[0]
+        assert rows[0]["sem"] >= 0.0
+
+    def test_single_repeat_no_sem(self):
+        from repro.experiments.fig3 import run_fig3
+
+        rows = run_fig3(
+            lambda: StackWorkload(),
+            threads=(2,),
+            policies=("NO_DELAY",),
+            horizon=20_000.0,
+            seed=1,
+        )
+        assert "sem" not in rows[0]
+
+    def test_repeats_validation(self):
+        from repro.experiments.fig3 import run_fig3
+
+        with pytest.raises(ValueError):
+            run_fig3(lambda: StackWorkload(), repeats=0)
+
+
+class TestDescribeSurfaces:
+    def test_policy_describe(self):
+        text = UniformRW(100.0, 2).describe()
+        assert "RRW" in text and "100" in text
+
+    def test_distribution_describe(self):
+        text = ExponentialLengths(42.0).describe()
+        assert "exponential" in text
+        assert "42" in text
+
+    def test_distribution_repr(self):
+        assert "geometric" in repr(GeometricLengths(10.0))
+
+    def test_model_repr_roundtrip(self, rw_model):
+        assert "REQUESTOR_WINS" in repr(rw_model)
+
+
+class TestContinuousInternals:
+    def test_grid_cache_reused(self):
+        policy = MeanConstrainedRW(100.0, 10.0)
+        a = policy._cdf_grid()
+        b = policy._cdf_grid()
+        assert a is b
+        assert a[0].shape == (GRID_POINTS,)
+
+    def test_grid_endpoints_pinned(self):
+        policy = MeanConstrainedRW(100.0, 10.0)
+        xs, fs = policy._cdf_grid()
+        assert fs[0] == 0.0
+        assert fs[-1] == 1.0
+        assert np.all(np.diff(fs) >= 0)
+
+    def test_ppf_extremes(self):
+        policy = MeanConstrainedRW(100.0, 10.0)
+        assert float(policy.ppf(0.0)) == pytest.approx(0.0, abs=1e-6)
+        assert float(policy.ppf(1.0)) == pytest.approx(100.0, rel=1e-3)

@@ -1,0 +1,184 @@
+"""Unit tests for the Section 4 conflict cost model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import ConflictKind, ConflictModel
+from repro.errors import InvalidParameterError
+
+
+class TestConstruction:
+    def test_valid(self):
+        m = ConflictModel(ConflictKind.REQUESTOR_WINS, 100.0, 3)
+        assert m.B == 100.0
+        assert m.k == 3
+        assert m.waiters == 2
+
+    def test_default_chain_is_two(self):
+        m = ConflictModel(ConflictKind.REQUESTOR_ABORTS, 1.0)
+        assert m.k == 2
+
+    @pytest.mark.parametrize("bad_B", [0.0, -1.0, math.nan, math.inf])
+    def test_bad_B(self, bad_B):
+        with pytest.raises(InvalidParameterError):
+            ConflictModel(ConflictKind.REQUESTOR_WINS, bad_B, 2)
+
+    @pytest.mark.parametrize("bad_k", [1, 0, -2, 2.5, True])
+    def test_bad_k(self, bad_k):
+        with pytest.raises(InvalidParameterError):
+            ConflictModel(ConflictKind.REQUESTOR_WINS, 10.0, bad_k)
+
+    def test_bad_kind(self):
+        with pytest.raises(InvalidParameterError):
+            ConflictModel("requestor_wins", 10.0, 2)  # type: ignore[arg-type]
+
+    def test_frozen(self, rw_model):
+        with pytest.raises(Exception):
+            rw_model.B = 5.0  # type: ignore[misc]
+
+    def test_delay_cap(self):
+        m = ConflictModel(ConflictKind.REQUESTOR_WINS, 120.0, 4)
+        assert m.delay_cap == pytest.approx(40.0)
+
+
+class TestRequestorWinsCost:
+    """Section 4.1: commit pays (k-1)D, abort pays kx + B."""
+
+    def test_commit_side(self, rw_model):
+        assert rw_model.cost(delay=50.0, remaining=30.0) == pytest.approx(30.0)
+
+    def test_abort_side(self, rw_model):
+        assert rw_model.cost(delay=30.0, remaining=50.0) == pytest.approx(
+            2 * 30.0 + 100.0
+        )
+
+    def test_tie_commits(self, rw_model):
+        # D <= x commits (Section 4.1's convention)
+        assert rw_model.cost(delay=40.0, remaining=40.0) == pytest.approx(40.0)
+
+    def test_zero_delay_always_aborts_positive_remaining(self, rw_model):
+        assert rw_model.cost(0.0, 1e-9) == pytest.approx(100.0, abs=1e-6)
+
+    def test_zero_remaining_commits_free(self, rw_model):
+        assert rw_model.cost(0.0, 0.0) == 0.0
+
+    def test_chain_commit_scales_with_waiters(self):
+        m = ConflictModel(ConflictKind.REQUESTOR_WINS, 100.0, 5)
+        assert m.cost(delay=10.0, remaining=7.0) == pytest.approx(4 * 7.0)
+
+    def test_chain_abort(self):
+        m = ConflictModel(ConflictKind.REQUESTOR_WINS, 100.0, 5)
+        assert m.cost(delay=10.0, remaining=70.0) == pytest.approx(
+            5 * 10.0 + 100.0
+        )
+
+
+class TestRequestorAbortsCost:
+    """Section 4.2: commit pays (k-1)D, abort pays (k-1)(x + B)."""
+
+    def test_commit_side(self, ra_model):
+        assert ra_model.cost(50.0, 30.0) == pytest.approx(30.0)
+
+    def test_abort_side(self, ra_model):
+        assert ra_model.cost(30.0, 50.0) == pytest.approx(30.0 + 100.0)
+
+    def test_chain_abort(self):
+        m = ConflictModel(ConflictKind.REQUESTOR_ABORTS, 100.0, 4)
+        assert m.cost(10.0, 200.0) == pytest.approx(3 * (10.0 + 100.0))
+
+    def test_k2_matches_classic_ski_rental(self, ra_model):
+        # renting x days then buying: x + B
+        for x, d in [(0, 5), (3, 10), (99, 100)]:
+            if d > x:
+                assert ra_model.cost(x, d) == pytest.approx(x + 100.0)
+            else:
+                assert ra_model.cost(x, d) == pytest.approx(d)
+
+
+class TestOpt:
+    def test_small_remaining(self, rw_model):
+        assert rw_model.opt(30.0) == pytest.approx(30.0)
+
+    def test_large_remaining_capped_at_B(self, rw_model):
+        assert rw_model.opt(1e9) == pytest.approx(100.0)
+
+    def test_chain_opt(self):
+        m = ConflictModel(ConflictKind.REQUESTOR_WINS, 100.0, 5)
+        assert m.opt(10.0) == pytest.approx(40.0)
+        assert m.opt(100.0) == pytest.approx(100.0)
+
+    def test_opt_below_any_cost(self, rw_model, rng):
+        for _ in range(200):
+            delay = float(rng.random() * 200)
+            d = float(rng.random() * 400)
+            assert rw_model.opt(d) <= rw_model.cost(delay, d) + 1e-9
+
+    def test_opt_negative_rejected(self, rw_model):
+        with pytest.raises(InvalidParameterError):
+            rw_model.opt(-1.0)
+
+
+class TestVectorized:
+    def test_cost_vec_matches_scalar(self, rw_model, rng):
+        delays = rng.random(500) * 150
+        remains = rng.random(500) * 300
+        vec = rw_model.cost_vec(delays, remains)
+        for i in range(0, 500, 37):
+            assert vec[i] == pytest.approx(
+                rw_model.cost(float(delays[i]), float(remains[i]))
+            )
+
+    def test_cost_vec_ra(self, ra_model, rng):
+        delays = rng.random(300) * 150
+        remains = rng.random(300) * 300
+        vec = ra_model.cost_vec(delays, remains)
+        for i in range(0, 300, 41):
+            assert vec[i] == pytest.approx(
+                ra_model.cost(float(delays[i]), float(remains[i]))
+            )
+
+    def test_opt_vec_matches_scalar(self, rw_model, rng):
+        remains = rng.random(200) * 400
+        vec = rw_model.opt_vec(remains)
+        for i in range(0, 200, 23):
+            assert vec[i] == pytest.approx(rw_model.opt(float(remains[i])))
+
+    def test_cost_vec_broadcasting(self, rw_model):
+        out = rw_model.cost_vec(10.0, np.asarray([5.0, 50.0]))
+        assert out[0] == pytest.approx(5.0)
+        assert out[1] == pytest.approx(120.0)
+
+    def test_cost_vec_rejects_negative(self, rw_model):
+        with pytest.raises(InvalidParameterError):
+            rw_model.cost_vec(np.asarray([-1.0]), np.asarray([1.0]))
+
+
+class TestRatioAndHelpers:
+    def test_ratio_at_zero_remaining(self, rw_model):
+        # D = 0 commits instantly under any delay -> 0/0 corner = 1
+        assert rw_model.ratio(0.0, 0.0) == 1.0
+        assert rw_model.ratio(1.0, 0.0) == 1.0
+
+    def test_ratio_regular(self, rw_model):
+        # delay 100 (=B), D just above: cost 2*100+100=300, opt=100
+        assert rw_model.ratio(100.0, 101.0) == pytest.approx(3.0, rel=1e-2)
+
+    def test_with_abort_cost(self, rw_model):
+        m2 = rw_model.with_abort_cost(500.0)
+        assert m2.B == 500.0
+        assert m2.k == rw_model.k
+        assert rw_model.B == 100.0  # original untouched
+
+    def test_with_chain(self, rw_model):
+        m2 = rw_model.with_chain(7)
+        assert m2.k == 7
+        assert m2.kind is rw_model.kind
+
+    def test_describe_mentions_parameters(self, rw_model):
+        text = rw_model.describe()
+        assert "requestor_wins" in text
+        assert "100" in text

@@ -1,0 +1,110 @@
+"""Tests for the DelayPolicy base machinery and trivial policies."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.policy import (
+    FixedDelayPolicy,
+    ImmediateAbortPolicy,
+    NeverAbortPolicy,
+    clip_to_cap,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestFixedDelay:
+    def test_point_mass(self):
+        policy = FixedDelayPolicy(42.0)
+        assert policy.is_deterministic()
+        assert policy.sample() == 42.0
+        assert policy.support == (42.0, 42.0)
+        assert policy.expected_delay() == 42.0
+
+    def test_cdf_step(self):
+        policy = FixedDelayPolicy(10.0)
+        assert policy.cdf(9.999) == 0.0
+        assert policy.cdf(10.0) == 1.0
+
+    def test_sample_many_constant(self):
+        assert set(FixedDelayPolicy(5.0).sample_many(7).tolist()) == {5.0}
+
+    def test_default_name_mentions_delay(self):
+        assert "7" in FixedDelayPolicy(7.0).name
+
+    def test_custom_name(self):
+        assert FixedDelayPolicy(7.0, name="TUNED").name == "TUNED"
+
+    def test_no_density(self):
+        with pytest.raises(NotImplementedError):
+            FixedDelayPolicy(7.0).pdf(7.0)
+
+    @pytest.mark.parametrize("bad", [-1.0, math.nan, math.inf])
+    def test_invalid_delay(self, bad):
+        with pytest.raises(InvalidParameterError):
+            FixedDelayPolicy(bad)
+
+
+class TestImmediateAbort:
+    def test_zero(self):
+        policy = ImmediateAbortPolicy()
+        assert policy.sample() == 0.0
+        assert policy.name == "NO_DELAY"
+
+    def test_cost_is_pure_abort(self, rw_model):
+        policy = ImmediateAbortPolicy()
+        assert rw_model.cost(policy.sample(), 10.0) == rw_model.B
+
+
+class TestNeverAbort:
+    def test_infinite_delay(self):
+        policy = NeverAbortPolicy()
+        assert policy.sample() == math.inf
+        assert policy.cdf(1e18) == 0.0
+
+    def test_finite_horizon(self):
+        policy = NeverAbortPolicy(horizon=1e6)
+        assert policy.sample() == 1e6
+
+    def test_always_commits(self, rw_model):
+        policy = NeverAbortPolicy(horizon=1e9)
+        for d in (1.0, 1e6):
+            assert rw_model.cost(policy.sample(), d) == pytest.approx(d)
+
+
+class TestClipToCap:
+    def test_clips(self, rw_model):
+        assert clip_to_cap(1e9, rw_model) == rw_model.delay_cap
+
+    def test_passes_small(self, rw_model):
+        assert clip_to_cap(3.0, rw_model) == 3.0
+
+    def test_chain_cap(self):
+        m = ConflictModel(ConflictKind.REQUESTOR_WINS, 90.0, 4)
+        assert clip_to_cap(50.0, m) == pytest.approx(30.0)
+
+
+class TestGenericExpectedDelay:
+    def test_survival_integration_matches_uniform(self):
+        """The base-class survival-function integral agrees with the
+        closed form for a policy that only provides cdf()."""
+        from repro.core.policy import DelayPolicy
+
+        class CdfOnlyUniform(DelayPolicy):
+            name = "cdf-only"
+
+            def sample(self, rng=None):  # pragma: no cover - unused
+                return 0.0
+
+            @property
+            def support(self):
+                return (0.0, 10.0)
+
+            def cdf(self, x):
+                return min(max(x / 10.0, 0.0), 1.0)
+
+        assert CdfOnlyUniform().expected_delay() == pytest.approx(5.0, rel=1e-3)

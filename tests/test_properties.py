@@ -1,0 +1,259 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.policy import FixedDelayPolicy
+from repro.core.requestor_aborts import ChainRA, DiscreteSkiRentalRA, ExponentialRA
+from repro.core.requestor_wins import (
+    MeanConstrainedRW,
+    PolynomialRW,
+    UniformRW,
+    optimal_requestor_wins,
+)
+from repro.core import ski_rental as sr
+from repro.sim.engine import Simulator
+from repro.sim.stats import Welford
+
+# -- strategies ---------------------------------------------------------
+
+kinds = st.sampled_from(list(ConflictKind))
+abort_costs = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+chains = st.integers(min_value=2, max_value=64)
+delays = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+remainings = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestCostModelProperties:
+    @given(kinds, abort_costs, chains, delays, remainings)
+    @settings(max_examples=300)
+    def test_opt_lower_bounds_cost(self, kind, B, k, x, d):
+        model = ConflictModel(kind, B, k)
+        assert model.opt(d) <= model.cost(x, d) + 1e-6 * max(1.0, model.cost(x, d))
+
+    @given(kinds, abort_costs, chains, delays, remainings)
+    @settings(max_examples=200)
+    def test_cost_nonnegative(self, kind, B, k, x, d):
+        assert ConflictModel(kind, B, k).cost(x, d) >= 0.0
+
+    @given(kinds, abort_costs, chains, remainings)
+    @settings(max_examples=200)
+    def test_commit_cost_independent_of_delay(self, kind, B, k, d):
+        """Once D <= x, the cost is (k-1) D regardless of x."""
+        model = ConflictModel(kind, B, k)
+        assume(d < 1e5)
+        c1 = model.cost(d, d)
+        c2 = model.cost(d * 2 + 1, d)
+        assert c1 == pytest.approx(c2)
+
+    @given(kinds, abort_costs, chains, delays)
+    @settings(max_examples=200)
+    def test_abort_cost_independent_of_remaining(self, kind, B, k, x):
+        model = ConflictModel(kind, B, k)
+        c1 = model.cost(x, x + 1.0)
+        c2 = model.cost(x, x + 1e5)
+        assert c1 == pytest.approx(c2)
+
+    @given(kinds, abort_costs, chains, st.lists(
+        st.tuples(delays, remainings), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_vectorized_matches_scalar(self, kind, B, k, pairs):
+        model = ConflictModel(kind, B, k)
+        xs = np.asarray([p[0] for p in pairs])
+        ds = np.asarray([p[1] for p in pairs])
+        vec = model.cost_vec(xs, ds)
+        for i, (x, d) in enumerate(pairs):
+            assert vec[i] == pytest.approx(model.cost(x, d))
+
+
+class TestPolicyDistributionProperties:
+    @staticmethod
+    def _policies(B: float, k: int):
+        out = [UniformRW(B, k), ExponentialRA(B, k)]
+        if k == 2:
+            out.append(MeanConstrainedRW(B, 0.1 * B))
+            out.append(ChainRA(B, 2, 0.1 * B))
+        else:
+            out.append(PolynomialRW(B, k))
+        return out
+
+    @given(st.floats(min_value=1.0, max_value=1e5), st.integers(2, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_pdf_normalizes(self, B, k):
+        for policy in self._policies(B, k):
+            xs = np.linspace(*policy.support, 4001)
+            integral = float(np.trapezoid(policy.pdf_vec(xs), xs))
+            assert integral == pytest.approx(1.0, abs=5e-3)
+
+    @given(st.floats(min_value=1.0, max_value=1e5), st.integers(2, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_monotone_and_bounded(self, B, k):
+        for policy in self._policies(B, k):
+            xs = np.linspace(*policy.support, 500)
+            cdf = policy.cdf_vec(xs)
+            assert np.all(np.diff(cdf) >= -1e-12)
+            assert cdf[0] == pytest.approx(0.0, abs=1e-9)
+            assert cdf[-1] == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.floats(min_value=1.0, max_value=1e5), st.integers(2, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_pdf_nonnegative(self, B, k):
+        for policy in self._policies(B, k):
+            xs = np.linspace(*policy.support, 500)
+            assert np.all(policy.pdf_vec(xs) >= -1e-12)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.integers(2, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_samples_within_support_and_cap(self, B, k, seed):
+        model = ConflictModel(ConflictKind.REQUESTOR_WINS, B, k)
+        for policy in self._policies(B, k):
+            samples = policy.sample_many(64, seed)
+            lo, hi = policy.support
+            assert np.all(samples >= lo - 1e-9)
+            assert np.all(samples <= hi + 1e-9)
+            assert np.all(samples <= model.delay_cap + 1e-9)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ppf_cdf_roundtrip_uniform(self, B, q):
+        policy = UniformRW(B, 2)
+        x = float(policy.ppf(q))
+        assert policy.cdf(x) == pytest.approx(q, abs=1e-9)
+
+    @given(st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=50, deadline=None)
+    def test_factory_always_valid(self, B):
+        for mu in (None, 0.05 * B, 0.5 * B, 2.0 * B):
+            for k in (2, 3, 7):
+                policy = optimal_requestor_wins(B, k, mu)
+                lo, hi = policy.support
+                assert 0.0 <= lo <= hi <= B / (k - 1) + 1e-9
+
+
+class TestSkiRentalProperties:
+    @given(st.integers(1, 300), st.integers(1, 900), st.integers(0, 900))
+    @settings(max_examples=200)
+    def test_cost_geq_offline(self, B, buy_day, days):
+        inst = sr.SkiRental(B)
+        assert inst.cost(buy_day, days) >= inst.offline_cost(days)
+
+    @given(st.integers(2, 300))
+    @settings(max_examples=50)
+    def test_randomized_bound_everywhere(self, B):
+        ratio = sr.discrete_competitive_ratio(B)
+        for days in (1, B // 2 or 1, B, 2 * B):
+            assert sr.expected_cost_randomized(B, days) <= (
+                ratio * sr.optimal_offline_cost(B, days) + 1e-6
+            )
+
+    @given(st.integers(1, 500))
+    @settings(max_examples=100)
+    def test_ratio_bounds(self, B):
+        r = sr.discrete_competitive_ratio(B)
+        # (1 - 1/B)^B increases to 1/e, so the ratio increases *up*
+        # toward e/(e-1) ~ 1.582 from below
+        assert 1.0 <= r <= math.e / (math.e - 1) + 1e-9
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100)
+    def test_events_fire_in_time_order(self, times):
+        sim = Simulator()
+        fired: list[float] = []
+        for t in times:
+            sim.at(t, lambda tt=t: fired.append(tt))
+        sim.run()
+        assert fired == sorted(times)
+        assert len(fired) == len(times)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=30),
+        st.data(),
+    )
+    @settings(max_examples=80)
+    def test_cancellation_removes_exactly_those(self, times, data):
+        sim = Simulator()
+        fired = []
+        events = [sim.at(t, lambda i=i: fired.append(i)) for i, t in enumerate(times)]
+        doomed = data.draw(
+            st.sets(st.integers(0, len(times) - 1), max_size=len(times))
+        )
+        for i in doomed:
+            sim.cancel(events[i])
+        sim.run()
+        assert set(fired) == set(range(len(times))) - doomed
+
+
+class TestWelfordProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e8, max_value=1e8, allow_nan=False),
+            min_size=2,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=150)
+    def test_matches_numpy(self, data):
+        arr = np.asarray(data)
+        acc = Welford()
+        acc.add_many(arr)
+        assert acc.mean == pytest.approx(float(arr.mean()), rel=1e-9, abs=1e-6)
+        assert acc.variance == pytest.approx(
+            float(arr.var(ddof=1)), rel=1e-6, abs=1e-6
+        )
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100),
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100),
+    )
+    @settings(max_examples=100)
+    def test_merge_associative_with_concat(self, a, b):
+        wa, wb = Welford(), Welford()
+        wa.add_many(np.asarray(a))
+        wb.add_many(np.asarray(b))
+        merged = wa.merge(wb)
+        direct = Welford()
+        direct.add_many(np.asarray(a + b))
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-9, abs=1e-6)
+        assert merged.n == direct.n
+
+
+class TestDiscreteSkiPolicy:
+    @given(st.integers(1, 400), st.integers(0, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_samples_are_valid_days(self, B, seed):
+        policy = DiscreteSkiRentalRA(B)
+        samples = policy.sample_many(32, seed)
+        assert np.all(samples >= 0)
+        assert np.all(samples <= B - 1)
+        assert np.allclose(samples, np.round(samples))
+
+    @given(st.integers(2, 400))
+    @settings(max_examples=60)
+    def test_cdf_consistent_with_pmf(self, B):
+        policy = DiscreteSkiRentalRA(B)
+        total = 0.0
+        for day in range(1, B + 1):
+            total += policy.pmf(day)
+            assert policy.cdf(float(day - 1)) == pytest.approx(total, abs=1e-9)

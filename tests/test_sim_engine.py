@@ -1,0 +1,197 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_fifo_at_equal_time(self):
+        q = EventQueue()
+        order = []
+        for tag in "abc":
+            q.push(Event(5.0, order.append, (tag,)))
+        while q:
+            evt = q.pop()
+            evt.fire()
+        assert order == ["a", "b", "c"]
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        for t in (3.0, 1.0, 2.0):
+            q.push(Event(t, order.append, (t,)))
+        while q:
+            q.pop().fire()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_cancel_skipped(self):
+        q = EventQueue()
+        fired = []
+        evt = q.push(Event(1.0, fired.append, (1,)))
+        q.push(Event(2.0, fired.append, (2,)))
+        q.cancel(evt)
+        assert len(q) == 1
+        while q:
+            q.pop().fire()
+        assert fired == [2]
+
+    def test_double_cancel_safe(self):
+        q = EventQueue()
+        evt = q.push(Event(1.0, lambda: None))
+        q.cancel(evt)
+        q.cancel(evt)
+        assert len(q) == 0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        evt = q.push(Event(1.0, lambda: None))
+        q.push(Event(2.0, lambda: None))
+        q.cancel(evt)
+        assert q.peek_time() == 2.0
+
+    def test_empty_pop(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(Event(math.inf, lambda: None))
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.at(5.0, lambda: times.append(sim.now))
+        sim.at(2.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_after_relative(self):
+        sim = Simulator()
+        seen = []
+
+        def chain():
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.after(10.0, chain)
+
+        sim.after(10.0, chain)
+        sim.run()
+        assert seen == [10.0, 20.0, 30.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1.0, lambda: None)
+
+    def test_until_exclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10.0, lambda: fired.append(1))
+        sim.run(until=10.0)
+        assert fired == []
+        sim.run()  # resume
+        assert fired == [1]
+
+    def test_until_advances_clock(self):
+        sim = Simulator()
+        sim.at(100.0, lambda: None)
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            count.append(1)
+            sim.after(1.0, tick)
+
+        sim.after(1.0, tick)
+        sim.run(max_events=5)
+        assert len(count) == 5
+
+    def test_stop_when(self):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            count.append(1)
+            sim.after(1.0, tick)
+
+        sim.after(1.0, tick)
+        sim.run(stop_when=lambda: len(count) >= 3)
+        assert len(count) == 3
+
+    def test_cancel_via_simulator(self):
+        sim = Simulator()
+        fired = []
+        evt = sim.at(1.0, lambda: fired.append(1))
+        sim.cancel(evt)
+        sim.run()
+        assert fired == []
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.at(float(t), lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.at(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_handler_args(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda a, b: seen.append(a + b), 2, 3)
+        sim.run()
+        assert seen == [5]
+
+    def test_event_profile_disabled_by_default(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: None, label="x")
+        sim.run()
+        assert sim.event_profile() == {}
+
+    def test_event_profile_counts_labels(self):
+        sim = Simulator(profile=True)
+        for t in range(3):
+            sim.at(float(t), lambda: None, label="tick")
+        sim.at(5.0, lambda: None)  # unlabeled
+        sim.run()
+        profile = sim.event_profile()
+        assert profile["tick"] == 3
+        assert profile["<unlabeled>"] == 1
+
+    def test_deterministic_replay(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+            for t in (3.0, 1.0, 1.0, 2.0):
+                sim.at(t, lambda tt=t: log.append((sim.now, tt)))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()

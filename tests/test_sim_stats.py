@@ -1,0 +1,147 @@
+"""Tests for the online statistics accumulators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sim.stats import Histogram, RatioTracker, Welford
+
+
+class TestWelford:
+    def test_empty(self):
+        acc = Welford()
+        assert acc.n == 0
+        assert math.isnan(acc.mean)
+        assert math.isnan(acc.variance)
+
+    def test_single(self):
+        acc = Welford()
+        acc.add(4.0)
+        assert acc.mean == 4.0
+        assert math.isnan(acc.variance)
+        assert acc.min == acc.max == 4.0
+
+    def test_matches_numpy(self, rng):
+        data = rng.normal(10.0, 3.0, size=1000)
+        acc = Welford()
+        for x in data:
+            acc.add(float(x))
+        assert acc.mean == pytest.approx(data.mean())
+        assert acc.variance == pytest.approx(data.var(ddof=1))
+        assert acc.min == data.min()
+        assert acc.max == data.max()
+
+    def test_add_many_matches_scalar(self, rng):
+        data = rng.random(500) * 7
+        a, b = Welford(), Welford()
+        for x in data:
+            a.add(float(x))
+        b.add_many(data[:200])
+        b.add_many(data[200:])
+        assert b.mean == pytest.approx(a.mean)
+        assert b.variance == pytest.approx(a.variance)
+        assert b.n == a.n
+
+    def test_add_many_empty(self):
+        acc = Welford()
+        acc.add_many(np.asarray([]))
+        assert acc.n == 0
+
+    def test_merge(self, rng):
+        data = rng.random(400)
+        a, b = Welford(), Welford()
+        a.add_many(data[:150])
+        b.add_many(data[150:])
+        merged = a.merge(b)
+        assert merged.n == 400
+        assert merged.mean == pytest.approx(data.mean())
+        assert merged.variance == pytest.approx(data.var(ddof=1))
+
+    def test_merge_with_empty(self):
+        a = Welford()
+        a.add(1.0)
+        merged = a.merge(Welford())
+        assert merged.n == 1
+        assert merged.mean == 1.0
+
+    def test_sem(self):
+        acc = Welford()
+        acc.add_many(np.asarray([1.0, 2.0, 3.0, 4.0]))
+        assert acc.sem == pytest.approx(acc.std / 2.0)
+
+    def test_numerical_stability_large_offset(self):
+        """Huge common offset — naive sum-of-squares would cancel."""
+        acc = Welford()
+        base = 1e12
+        acc.add_many(base + np.asarray([1.0, 2.0, 3.0]))
+        assert acc.variance == pytest.approx(1.0)
+
+
+class TestRatioTracker:
+    def test_global_ratio_not_mean_of_ratios(self):
+        t = RatioTracker()
+        t.add(10.0, 5.0)
+        t.add(1.0, 10.0)
+        assert t.ratio == pytest.approx(11.0 / 15.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(RatioTracker().ratio)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RatioTracker().add(-1.0, 1.0)
+
+    def test_counts(self):
+        t = RatioTracker()
+        t.add(1.0, 1.0)
+        t.add(2.0, 2.0)
+        assert t.n == 2
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram(0.0, 10.0, 10)
+        for x in (0.5, 1.5, 1.7, 9.99):
+            h.add(x)
+        assert h.counts[0] == 1
+        assert h.counts[1] == 2
+        assert h.counts[9] == 1
+
+    def test_under_overflow(self):
+        h = Histogram(0.0, 10.0, 5)
+        h.add(-1.0)
+        h.add(10.0)
+        h.add(100.0)
+        assert h.underflow == 1
+        assert h.overflow == 2
+        assert h.total == 3
+
+    def test_add_many_matches_scalar(self, rng):
+        data = rng.normal(5, 3, 2000)
+        a, b = Histogram(0, 10, 20), Histogram(0, 10, 20)
+        for x in data:
+            a.add(float(x))
+        b.add_many(data)
+        assert np.array_equal(a.counts, b.counts)
+        assert a.underflow == b.underflow
+        assert a.overflow == b.overflow
+
+    def test_density_normalization(self, rng):
+        h = Histogram(0.0, 1.0, 50)
+        h.add_many(rng.random(10_000))
+        width = 1.0 / 50
+        assert h.density().sum() * width == pytest.approx(1.0)
+
+    def test_edges(self):
+        h = Histogram(0.0, 10.0, 5)
+        assert np.allclose(h.edges(), [0, 2, 4, 6, 8, 10])
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram(1.0, 0.0, 5)
+        with pytest.raises(InvalidParameterError):
+            Histogram(0.0, 1.0, 0)

@@ -1,0 +1,121 @@
+"""Tests for the classic ski-rental module (Section 3.3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ski_rental as sr
+from repro.errors import InvalidParameterError
+
+
+class TestInstance:
+    def test_cost_pure_rent(self):
+        inst = sr.SkiRental(10)
+        assert inst.cost(buy_day=11, days=5) == 5
+
+    def test_cost_buy_day_one(self):
+        inst = sr.SkiRental(10)
+        assert inst.cost(buy_day=1, days=100) == 10
+
+    def test_cost_buy_midway(self):
+        inst = sr.SkiRental(10)
+        assert inst.cost(buy_day=4, days=100) == 3 + 10
+
+    def test_cost_never_ski(self):
+        inst = sr.SkiRental(10)
+        assert inst.cost(buy_day=1, days=0) == 0
+
+    def test_offline(self):
+        inst = sr.SkiRental(10)
+        assert inst.offline_cost(3) == 3
+        assert inst.offline_cost(10) == 10
+        assert inst.offline_cost(1000) == 10
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            sr.SkiRental(0)
+        with pytest.raises(InvalidParameterError):
+            sr.SkiRental(10).cost(0, 5)
+
+
+class TestDeterministic:
+    def test_buy_day_is_B(self):
+        assert sr.deterministic_buy_day(25) == 25
+
+    def test_two_competitive(self):
+        B = 25
+        inst = sr.SkiRental(B)
+        buy = sr.deterministic_buy_day(B)
+        worst = max(
+            inst.cost(buy, d) / inst.offline_cost(d) for d in range(1, 4 * B)
+        )
+        assert worst <= 2.0 - 1.0 / B + 1e-12  # cost 2B-1 at D >= B
+
+
+class TestKarlinRandomized:
+    def test_pmf_normalizes(self):
+        for B in (1, 2, 17, 400):
+            assert sr.karlin_pmf(B).sum() == pytest.approx(1.0)
+
+    def test_expected_cost_bound(self):
+        """Theorem 1: E[cost] <= ratio(B) * min(D, B) for every D."""
+        B = 60
+        ratio = sr.discrete_competitive_ratio(B)
+        for days in range(1, 3 * B):
+            expected = sr.expected_cost_randomized(B, days)
+            assert expected <= ratio * sr.optimal_offline_cost(B, days) + 1e-9
+
+    def test_ratio_tight_at_large_days(self):
+        B = 60
+        ratio = sr.discrete_competitive_ratio(B)
+        expected = sr.expected_cost_randomized(B, 10 * B)
+        assert expected / B == pytest.approx(ratio, rel=1e-9)
+
+    def test_ratio_limit(self):
+        assert sr.discrete_competitive_ratio(100_000) == pytest.approx(
+            sr.continuous_ratio_limit(), rel=1e-4
+        )
+
+    def test_beats_deterministic(self):
+        assert sr.discrete_competitive_ratio(100) < 2.0
+
+    def test_sample_buy_day_range(self, rng):
+        days = [sr.sample_buy_day(12, rng) for _ in range(2000)]
+        assert min(days) >= 1
+        assert max(days) <= 12
+        # later days are more likely
+        assert days.count(12) > days.count(1)
+
+    def test_expected_cost_zero_days(self):
+        assert sr.expected_cost_randomized(10, 0) == pytest.approx(0.0)
+
+
+class TestReductionToConflict:
+    """Section 4.2's mapping: RA conflict == ski rental."""
+
+    def test_costs_align(self):
+        from repro.core.model import ConflictKind, ConflictModel
+
+        B = 40
+        inst = sr.SkiRental(B)
+        model = ConflictModel(ConflictKind.REQUESTOR_ABORTS, float(B), 2)
+        for buy_day in (1, 10, 40):
+            for days in (3, 39, 40, 200):
+                ski = inst.cost(buy_day, days)
+                # delay x = buy_day - 1; the model's tie (D <= x commits)
+                # matches ski rental's "buy_day > days => pure rent"
+                conflict = model.cost(float(buy_day - 1), float(days))
+                assert conflict == pytest.approx(float(ski))
+
+    def test_offline_align(self):
+        from repro.core.model import ConflictKind, ConflictModel
+
+        B = 40
+        model = ConflictModel(ConflictKind.REQUESTOR_ABORTS, float(B), 2)
+        for days in (1, 39, 40, 400):
+            assert model.opt(float(days)) == pytest.approx(
+                float(sr.optimal_offline_cost(B, days))
+            )

@@ -1,0 +1,179 @@
+"""Tests for the Section 8.1 synthetic testbed."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.ratios import E_OVER_EM1
+from repro.distributions import (
+    DeterministicLengths,
+    ExponentialLengths,
+    PointMassRemaining,
+    UniformLengths,
+    WorstCaseForDeterministic,
+)
+from repro.errors import InvalidParameterError
+from repro.synthetic import SyntheticHarness, default_policy_suite
+from repro.synthetic.harness import PolicyEntry
+
+B = 200.0
+MU = 500.0
+
+
+class TestSuite:
+    def test_six_policies(self):
+        suite = default_policy_suite(B, MU)
+        assert [e.label for e in suite] == [
+            "RRW(mu)",
+            "RRA(mu)",
+            "RRW",
+            "RRA",
+            "DET",
+            "OPT",
+        ]
+
+    def test_models_match_kinds(self):
+        suite = default_policy_suite(B, MU)
+        kinds = {e.label: e.model.kind for e in suite}
+        assert kinds["RRW"] is ConflictKind.REQUESTOR_WINS
+        assert kinds["RRA"] is ConflictKind.REQUESTOR_ABORTS
+
+
+class TestHarness:
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            SyntheticHarness(0.0, MU)
+        with pytest.raises(InvalidParameterError):
+            SyntheticHarness(B, MU, mu_source="median")
+        with pytest.raises(InvalidParameterError):
+            SyntheticHarness(B, MU, interrupt="never")
+
+    def test_uniform_interrupt_halves_mean(self, rng):
+        harness = SyntheticHarness(B, MU)
+        remaining = harness.draw_remaining(DeterministicLengths(100.0), 50_000, rng)
+        assert remaining.mean() == pytest.approx(50.0, rel=0.02)
+        assert remaining.max() <= 100.0
+        assert remaining.min() > 0.0
+
+    def test_direct_interrupt_passthrough(self, rng):
+        harness = SyntheticHarness(B, MU, interrupt="direct")
+        remaining = harness.draw_remaining(DeterministicLengths(100.0), 100, rng)
+        assert np.allclose(remaining, 100.0)
+
+    def test_opt_is_cheapest(self):
+        harness = SyntheticHarness(B, MU)
+        result = harness.run(ExponentialLengths(MU), 30_000, 7)
+        opt = result.mean_cost("OPT")
+        for label in ("RRW", "RRA", "DET", "RRW(mu)", "RRA(mu)"):
+            assert result.mean_cost(label) >= opt * 0.999
+
+    def test_reproducible(self):
+        harness = SyntheticHarness(B, MU)
+        a = harness.run(ExponentialLengths(MU), 5000, 3).mean_cost("RRW")
+        b = harness.run(ExponentialLengths(MU), 5000, 3).mean_cost("RRW")
+        assert a == b
+
+    def test_trials_counted(self):
+        harness = SyntheticHarness(B, MU)
+        result = harness.run(UniformLengths(MU), 1234, 1)
+        assert result.trials == 1234
+        assert result.stats["OPT"].n == 1234
+
+    def test_batching_statistical_equivalence(self):
+        # batch size changes RNG consumption order, so only the
+        # statistics (not the exact draws) must agree
+        harness = SyntheticHarness(B, MU)
+        a = harness.run(UniformLengths(MU), 40_000, 11, batch=4000).mean_cost("DET")
+        b = harness.run(UniformLengths(MU), 40_000, 11, batch=40_000).mean_cost("DET")
+        assert a == pytest.approx(b, rel=0.05)
+
+    def test_invalid_trials(self):
+        with pytest.raises(InvalidParameterError):
+            SyntheticHarness(B, MU).run(UniformLengths(MU), 0, 1)
+
+
+class TestPaperShapes:
+    """The qualitative Figure 2 claims, in expectation."""
+
+    def test_rrw_two_ish_on_point_mass(self):
+        """Point mass remaining at B: RRW pays ~2 OPT (Theorem 5)."""
+        harness = SyntheticHarness(B, B, interrupt="direct")
+        result = harness.run(PointMassRemaining(B), 100_000, 5)
+        assert result.mean_cost("RRW") / result.mean_cost("OPT") == pytest.approx(
+            2.0, rel=0.03
+        )
+
+    def test_rra_e_over_em1_on_point_mass(self):
+        harness = SyntheticHarness(B, B, interrupt="direct")
+        result = harness.run(PointMassRemaining(B), 100_000, 5)
+        assert result.mean_cost("RRA") / result.mean_cost("OPT") == pytest.approx(
+            E_OVER_EM1, rel=0.03
+        )
+
+    def test_det_worst_case_three(self):
+        dist = WorstCaseForDeterministic(B, k=2, width=0.01)
+        harness = SyntheticHarness(B, dist.mean, interrupt="direct")
+        result = harness.run(dist, 50_000, 5)
+        assert result.mean_cost("DET") / result.mean_cost("OPT") == pytest.approx(
+            3.0, rel=0.01
+        )
+
+    def test_constrained_beat_unconstrained_high_B(self):
+        """Figure 2a regime: B >> mu -> RRW(mu)/RRA(mu) win clearly."""
+        harness = SyntheticHarness(2000.0, MU)
+        result = harness.run(ExponentialLengths(MU), 60_000, 5)
+        assert result.mean_cost("RRW(mu)") < result.mean_cost("RRW")
+        assert result.mean_cost("RRA(mu)") < result.mean_cost("RRA")
+
+    def test_ra_beats_rw_low_B(self):
+        """Figure 2b regime: B < mu -> RA policies beat RW policies."""
+        harness = SyntheticHarness(B, MU)
+        result = harness.run(ExponentialLengths(MU), 60_000, 5)
+        assert result.mean_cost("RRA") < result.mean_cost("RRW")
+        assert result.mean_cost("RRA(mu)") < result.mean_cost("RRW(mu)")
+
+    def test_det_near_opt_when_B_huge(self):
+        """Figure 2a: with B=2000 >> lengths, DET (almost) never aborts
+        and tracks OPT."""
+        harness = SyntheticHarness(2000.0, MU)
+        result = harness.run(UniformLengths(MU), 60_000, 5)
+        assert result.mean_cost("DET") / result.mean_cost("OPT") < 1.05
+
+
+class TestResultHelpers:
+    def test_normalized(self):
+        harness = SyntheticHarness(B, MU)
+        result = harness.run(UniformLengths(MU), 10_000, 1)
+        norm = result.normalized()
+        assert norm["OPT"] == pytest.approx(1.0)
+        assert all(v >= 0.999 for v in norm.values())
+
+    def test_rows_sorted(self):
+        harness = SyntheticHarness(B, MU)
+        result = harness.run(UniformLengths(MU), 10_000, 1)
+        rows = result.as_rows()
+        means = [m for _, m, _ in rows]
+        assert means == sorted(means)
+
+    def test_sweep(self):
+        harness = SyntheticHarness(B, MU)
+        results = harness.sweep(
+            [UniformLengths(MU), ExponentialLengths(MU)], 2000, 1
+        )
+        assert [r.distribution for r in results] == ["uniform", "exponential"]
+
+    def test_custom_policy_entry(self, rng):
+        from repro.core.policy import FixedDelayPolicy
+
+        model = ConflictModel(ConflictKind.REQUESTOR_WINS, B, 2)
+        harness = SyntheticHarness(
+            B,
+            MU,
+            policies=[PolicyEntry("CUSTOM", FixedDelayPolicy(10.0), model)],
+        )
+        result = harness.run(UniformLengths(MU), 1000, 1)
+        assert set(result.stats) == {"CUSTOM"}

@@ -1,0 +1,97 @@
+"""Tests for the policy validation diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.policy import FixedDelayPolicy
+from repro.core.requestor_aborts import DiscreteSkiRentalRA, ExponentialRA
+from repro.core.requestor_wins import (
+    DeterministicRW,
+    MeanConstrainedRW,
+    PolynomialRW,
+    UniformRW,
+)
+from repro.core.validate import validate_policy
+
+B = 100.0
+RW = ConflictModel(ConflictKind.REQUESTOR_WINS, B, 2)
+RA = ConflictModel(ConflictKind.REQUESTOR_ABORTS, B, 2)
+
+
+class TestShippedPoliciesValidate:
+    @pytest.mark.parametrize(
+        "policy,model",
+        [
+            (UniformRW(B, 2), RW),
+            (MeanConstrainedRW(B, 10.0), RW),
+            (DeterministicRW(B, 2), RW),
+            (ExponentialRA(B, 2), RA),
+            (
+                PolynomialRW(B, 4),
+                ConflictModel(ConflictKind.REQUESTOR_WINS, B, 4),
+            ),
+        ],
+        ids=["uniform", "mean_rw", "det", "exp_ra", "poly"],
+    )
+    def test_all_pass(self, policy, model):
+        report = validate_policy(policy, model, rng=1)
+        assert report.ok, report.render()
+
+    def test_discrete_ski_rental_core_checks(self):
+        # the grid adversary lives on integers for discrete policies, so
+        # ratio-vs-claimed is checked through the discrete formula
+        policy = DiscreteSkiRentalRA(100)
+        report = validate_policy(policy, RA, rng=1)
+        assert report.ok, report.render()
+        assert report.claimed_ratio == pytest.approx(policy.competitive_ratio)
+
+
+class TestBadPoliciesFlagged:
+    def test_over_cap_support_flagged(self):
+        policy = FixedDelayPolicy(10 * B)
+        report = validate_policy(policy, RW, rng=1)
+        assert not report.ok
+        assert any("cap" in c.name for c in report.failures())
+
+    def test_unnormalized_pdf_flagged(self):
+        class Broken(UniformRW):
+            def pdf_vec(self, x):
+                return super().pdf_vec(x) * 2.0  # integrates to 2
+
+        report = validate_policy(Broken(B, 2), RW, rng=1)
+        assert not report.ok
+        assert any("integrates" in c.name for c in report.failures())
+
+    def test_lying_ratio_claim_flagged(self):
+        class Braggart(UniformRW):
+            competitive_ratio = 1.01  # actually 2
+
+        report = validate_policy(Braggart(B, 2), RW, rng=1)
+        assert not report.ok
+        assert any("claimed" in c.name for c in report.failures())
+
+    def test_bad_sampler_flagged(self):
+        class SkewedSampler(UniformRW):
+            def sample_many(self, n, rng=None):
+                return np.full(n, self.B / 2)  # point mass vs uniform cdf
+
+        report = validate_policy(SkewedSampler(B, 2), RW, rng=1)
+        assert not report.ok
+        assert any("KS" in (c.detail or "") for c in report.failures())
+
+
+class TestReportRendering:
+    def test_render_mentions_everything(self):
+        report = validate_policy(UniformRW(B, 2), RW, rng=1)
+        text = report.render()
+        assert "PASS" in text
+        assert "numeric competitive ratio" in text
+        assert "claimed" in text
+
+    def test_failures_listed(self):
+        report = validate_policy(FixedDelayPolicy(10 * B), RW, rng=1)
+        assert "FAIL" in report.render()
+        assert len(report.failures()) >= 1

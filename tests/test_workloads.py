@@ -1,0 +1,193 @@
+"""Workload logical-consistency tests (linearizability surrogates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.htm import DetDelay, Machine, MachineParams, NoDelay, RandDelay
+from repro.workloads import (
+    CounterWorkload,
+    QueueWorkload,
+    StackWorkload,
+    TxAppWorkload,
+)
+from repro.workloads.stack import EMPTY as STACK_EMPTY
+
+POLICIES = {
+    "no_delay": lambda i: NoDelay(),
+    "rand": lambda i: RandDelay(),
+    "det": lambda i: DetDelay(),
+}
+
+
+def run(workload, policy="rand", n_cores=6, horizon=100_000.0, seed=3):
+    machine = Machine(MachineParams(n_cores=n_cores), POLICIES[policy])
+    machine.load(workload, seed=seed)
+    stats = machine.run(horizon)
+    return machine, stats
+
+
+class TestStack:
+    @pytest.mark.parametrize("policy", list(POLICIES))
+    def test_verifies_under_contention(self, policy):
+        workload = StackWorkload()
+        machine, stats = run(workload, policy)
+        assert stats.ops_completed > 50
+        workload.verify(machine)
+
+    def test_seeds_sweep(self):
+        for seed in range(5):
+            workload = StackWorkload()
+            machine, _ = run(workload, "rand", seed=seed)
+            workload.verify(machine)
+
+    def test_prefill_visible(self):
+        workload = StackWorkload(prefill=10)
+        machine = Machine(MachineParams(n_cores=2), POLICIES["no_delay"])
+        machine.load(workload, seed=1)
+        # before running, chain length == prefill
+        count = 0
+        addr = machine.peek(workload.top_addr)
+        while addr:
+            count += 1
+            addr = machine.peek(addr + 1)
+        assert count == 10
+
+    def test_pop_empty_returns_sentinel(self):
+        workload = StackWorkload(prefill=0)
+        machine, stats = run(workload, "no_delay", n_cores=2, horizon=20_000.0)
+        workload.verify(machine)
+        pops = [v for kind, _, v in workload.log if kind == "pop"]
+        # alternating push/pop on an initially empty stack can race to
+        # empty; sentinel handling must not corrupt anything
+        assert all(v == STACK_EMPTY or v > 0 for v in pops)
+
+    def test_values_unique_per_core(self):
+        workload = StackWorkload()
+        machine, _ = run(workload, "rand")
+        pushes = [v for kind, _, v in workload.log if kind == "push"]
+        assert len(pushes) == len(set(pushes))
+
+    def test_fallback_exercised_under_heavy_contention(self):
+        workload = StackWorkload()
+        params = MachineParams(n_cores=8, max_retries=1)
+        machine = Machine(params, POLICIES["no_delay"])
+        machine.load(workload, seed=2)
+        stats = machine.run(60_000.0)
+        workload.verify(machine)
+        assert stats.total("fallback_ops") > 0
+
+    def test_corrupted_log_detected(self):
+        """verify() actually catches violations (meta-test)."""
+        from repro.errors import WorkloadError
+
+        workload = StackWorkload()
+        machine, _ = run(workload, "no_delay", n_cores=2, horizon=20_000.0)
+        workload.log.append(("pop", 0, 999_999_999))  # never pushed
+        with pytest.raises(WorkloadError):
+            workload.verify(machine)
+
+
+class TestQueue:
+    @pytest.mark.parametrize("policy", list(POLICIES))
+    def test_verifies_under_contention(self, policy):
+        workload = QueueWorkload()
+        machine, stats = run(workload, policy)
+        assert stats.ops_completed > 50
+        workload.verify(machine)
+
+    def test_seeds_sweep(self):
+        for seed in range(5):
+            workload = QueueWorkload()
+            machine, _ = run(workload, "rand", seed=seed)
+            workload.verify(machine)
+
+    def test_fifo_per_source_enforced(self):
+        from repro.errors import WorkloadError
+
+        workload = QueueWorkload()
+        machine, _ = run(workload, "no_delay", n_cores=2, horizon=20_000.0)
+        # falsify: swap two dequeues of the same source
+        deqs = [
+            (i, v)
+            for i, (kind, _, v) in enumerate(workload.log)
+            if kind == "deq" and v > 0 and (v >> 32) == 1
+        ]
+        if len(deqs) >= 2:
+            (i1, v1), (i2, v2) = deqs[0], deqs[1]
+            workload.log[i1] = ("deq", 0, v2)
+            workload.log[i2] = ("deq", 0, v1)
+            with pytest.raises(WorkloadError):
+                workload.verify(machine)
+
+    def test_mixed_fast_slow_paths(self):
+        workload = QueueWorkload()
+        params = MachineParams(n_cores=8, max_retries=2)
+        machine = Machine(params, POLICIES["rand"])
+        machine.load(workload, seed=4)
+        stats = machine.run(80_000.0)
+        workload.verify(machine)
+        assert stats.total("fallback_ops") > 0
+        assert stats.tx_committed > 0
+
+
+class TestTxApp:
+    @pytest.mark.parametrize("policy", list(POLICIES))
+    def test_ledger_balances(self, policy):
+        workload = TxAppWorkload(work_cycles=50)
+        machine, stats = run(workload, policy)
+        assert stats.ops_completed > 50
+        workload.verify(machine)
+
+    def test_bimodal_ledger_balances(self):
+        workload = TxAppWorkload(work_cycles=50, bimodal=True)
+        machine, _ = run(workload)
+        workload.verify(machine)
+
+    def test_mean_work(self):
+        uni = TxAppWorkload(work_cycles=100)
+        bi = TxAppWorkload(work_cycles=100, bimodal=True, long_factor=20)
+        assert uni.mean_work_cycles() == 100.0
+        assert bi.mean_work_cycles() == pytest.approx(1050.0)
+
+    def test_distinct_objects_per_tx(self, rng):
+        workload = TxAppWorkload()
+        machine = Machine(MachineParams(n_cores=2), POLICIES["no_delay"])
+        machine.load(workload, seed=1)
+        for _ in range(200):
+            op = workload.next_op(0, rng)
+            assert op.obj_a != op.obj_b
+
+    def test_lock_fallback_serializes_correctly(self):
+        workload = TxAppWorkload(work_cycles=20)
+        params = MachineParams(n_cores=8, max_retries=1)
+        machine = Machine(params, POLICIES["no_delay"])
+        machine.load(workload, seed=5)
+        stats = machine.run(80_000.0)
+        workload.verify(machine)
+        assert stats.total("fallback_ops") > 0
+
+    def test_needs_two_objects(self):
+        with pytest.raises(ValueError):
+            TxAppWorkload(n_objects=1)
+
+
+class TestCounter:
+    def test_work_cycles_lengthen_tx(self):
+        short = CounterWorkload(work_cycles=0)
+        long = CounterWorkload(work_cycles=500)
+        m1, s1 = run(short, "no_delay", n_cores=2)
+        m2, s2 = run(long, "no_delay", n_cores=2)
+        short.verify(m1)
+        long.verify(m2)
+        assert s1.ops_completed > s2.ops_completed
+
+    def test_tuned_delay_positive(self):
+        params = MachineParams()
+        for workload in (
+            CounterWorkload(),
+            StackWorkload(),
+            QueueWorkload(),
+            TxAppWorkload(),
+        ):
+            assert workload.tuned_delay_cycles(params) > 0

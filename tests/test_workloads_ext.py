@@ -1,0 +1,155 @@
+"""Tests for the extension workloads: bank transfers and the list set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.htm import (
+    HybridDelay,
+    Machine,
+    MachineParams,
+    NoDelay,
+    RandDelay,
+    RequestorAbortsDelay,
+)
+from repro.workloads import BankWorkload, ListSetWorkload
+
+POLICIES = {
+    "no_delay": lambda i: NoDelay(),
+    "rand": lambda i: RandDelay(),
+    "ra": lambda i: RequestorAbortsDelay(),
+    "hybrid": lambda i: HybridDelay(),
+}
+
+
+def run(workload, policy="rand", n_cores=8, horizon=100_000.0, seed=3):
+    machine = Machine(MachineParams(n_cores=n_cores), POLICIES[policy])
+    machine.load(workload, seed=seed)
+    stats = machine.run(horizon)
+    return machine, stats
+
+
+class TestBank:
+    @pytest.mark.parametrize("policy", list(POLICIES))
+    def test_money_conserved(self, policy):
+        workload = BankWorkload()
+        machine, stats = run(workload, policy)
+        assert stats.ops_completed > 20
+        workload.verify(machine)
+
+    def test_audits_snapshot_consistent(self):
+        workload = BankWorkload(p_audit=0.3)
+        machine, _ = run(workload, "rand")
+        workload.verify(machine)
+        assert len(workload.audit_sums) > 0
+
+    def test_audit_reads_whole_bank(self):
+        workload = BankWorkload(n_accounts=8, p_audit=1.0)
+        machine, stats = run(workload, "no_delay", n_cores=2, horizon=40_000.0)
+        workload.verify(machine)
+        assert all(s == workload.expected_total for s in workload.audit_sums)
+
+    def test_seeds_sweep(self):
+        for seed in range(4):
+            workload = BankWorkload(p_audit=0.1)
+            machine, _ = run(workload, "hybrid", seed=seed)
+            workload.verify(machine)
+
+    def test_verify_catches_torn_total(self):
+        workload = BankWorkload()
+        machine, _ = run(workload, "no_delay", n_cores=2, horizon=20_000.0)
+        machine.poke(workload.account_addr[0], 10**9)  # corrupt
+        with pytest.raises(WorkloadError):
+            workload.verify(machine)
+
+    def test_verify_catches_torn_audit(self):
+        workload = BankWorkload()
+        machine, _ = run(workload, "no_delay", n_cores=2, horizon=20_000.0)
+        workload.audit_sums.append(123)  # impossible observation
+        with pytest.raises(WorkloadError):
+            workload.verify(machine)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BankWorkload(n_accounts=1)
+        with pytest.raises(ValueError):
+            BankWorkload(p_audit=1.5)
+
+    def test_tuned_delay_positive(self):
+        assert BankWorkload().tuned_delay_cycles(MachineParams()) > 0
+
+
+class TestListSet:
+    @pytest.mark.parametrize("policy", list(POLICIES))
+    def test_membership_consistent(self, policy):
+        workload = ListSetWorkload()
+        machine, stats = run(workload, policy)
+        assert stats.ops_completed > 20
+        workload.verify(machine)
+
+    def test_seeds_sweep(self):
+        for seed in range(4):
+            workload = ListSetWorkload(key_range=16)  # hot list
+            machine, _ = run(workload, "rand", seed=seed)
+            workload.verify(machine)
+
+    def test_prefill_sorted(self):
+        workload = ListSetWorkload(prefill=8)
+        machine = Machine(MachineParams(n_cores=2), POLICIES["no_delay"])
+        machine.load(workload, seed=1)
+        chain = []
+        addr = machine.peek(workload.head_addr + 1)
+        while addr:
+            chain.append(machine.peek(addr))
+            addr = machine.peek(addr + 1)
+        assert chain == sorted(chain)
+        assert len(chain) == 8
+
+    def test_log_alternation_per_key(self):
+        workload = ListSetWorkload(key_range=8)
+        machine, _ = run(workload, "rand", horizon=60_000.0)
+        workload.verify(machine)
+        # manual alternation spot-check
+        for key in range(8):
+            events = [k for k, kk, ok in workload.log if kk == key and ok]
+            for a, b in zip(events, events[1:]):
+                assert a != b, f"key {key}: consecutive {a}"
+
+    def test_verify_catches_broken_chain(self):
+        workload = ListSetWorkload()
+        machine, _ = run(workload, "no_delay", n_cores=2, horizon=20_000.0)
+        workload.log.append(("insert", 10**6, True))  # phantom insert
+        with pytest.raises(WorkloadError):
+            workload.verify(machine)
+
+    def test_contains_counts(self):
+        workload = ListSetWorkload(p_insert=0.0, p_remove=0.0)
+        machine, stats = run(workload, "no_delay", n_cores=2, horizon=20_000.0)
+        workload.verify(machine)
+        assert workload.lookups == stats.ops_completed
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ListSetWorkload(key_range=1)
+        with pytest.raises(ValueError):
+            ListSetWorkload(p_insert=0.7, p_remove=0.7)
+
+    def test_chains_beyond_two_form(self):
+        """The hot list should produce chain sizes > 2 (what Theorem 6
+        policies consume)."""
+        seen_k = set()
+        workload = ListSetWorkload(key_range=8)
+        machine = Machine(MachineParams(n_cores=8), POLICIES["rand"])
+        orig = machine.chain_size
+
+        def spy(holder):
+            k = orig(holder)
+            seen_k.add(k)
+            return k
+
+        machine.chain_size = spy
+        machine.load(workload, seed=5)
+        machine.run(120_000.0)
+        workload.verify(machine)
+        assert any(k > 2 for k in seen_k)
