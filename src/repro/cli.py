@@ -6,6 +6,19 @@ Examples::
     python -m repro fig2a tab_ratios
     python -m repro all --quick
     python -m repro fig3_stack --seed 7 --out results/
+    python -m repro all --quick --keep-going --timeout 120 --resume
+
+Resilience (docs/ROBUSTNESS.md):
+
+* ``--timeout`` arms a per-experiment wall-clock watchdog.
+* ``--retries`` re-runs an experiment that died with a transient
+  :class:`~repro.errors.SimulationError` (timeouts are never retried).
+* ``--keep-going`` records failures and keeps running; the run exits
+  non-zero with a per-experiment failure summary instead of aborting
+  at the first error.
+* ``--resume`` (with ``--checkpoint``, or the default checkpoint path)
+  skips experiments a previous invocation already completed, so a
+  crashed or killed batch picks up where it left off.
 """
 
 from __future__ import annotations
@@ -16,9 +29,19 @@ import pathlib
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS, render_result, run_experiment
+from repro.errors import ReproError
+from repro.experiments import (
+    EXPERIMENTS,
+    render_failures,
+    render_result,
+    run_experiment,
+)
 
 __all__ = ["main", "build_parser"]
+
+#: Default checkpoint location when ``--resume`` is given without an
+#: explicit ``--checkpoint`` (and no ``--out`` directory to put it in).
+DEFAULT_CHECKPOINT = pathlib.Path(".repro-checkpoint.json")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,7 +78,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --out, additionally write <id>.json (rows + params) "
         "for downstream plotting",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog per experiment; a run past the budget "
+        "is killed with ExperimentTimeoutError",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry an experiment up to N times (exponential backoff) "
+        "after a transient SimulationError; timeouts are not retried",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="collect per-experiment failures and keep running; exit "
+        "non-zero with a failure summary at the end",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="record per-experiment completion in a JSON checkpoint "
+        "(default with --resume: <out>/checkpoint.json, else "
+        f"{DEFAULT_CHECKPOINT})",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments the checkpoint already marks completed "
+        "(same --quick/--seed run only)",
+    )
     return parser
+
+
+def _checkpoint_path(args: argparse.Namespace) -> pathlib.Path | None:
+    """Where checkpoint state lives, or None when checkpointing is off
+    (neither --checkpoint nor --resume was requested)."""
+    if args.checkpoint is not None:
+        return args.checkpoint
+    if not args.resume:
+        return None
+    if args.out is not None:
+        return args.out / "checkpoint.json"
+    return DEFAULT_CHECKPOINT
+
+
+def _load_checkpoint(
+    path: pathlib.Path, *, quick: bool, seed: int | None
+) -> dict[str, dict]:
+    """Completed/failed entries from a previous run, or {} when the file
+    is missing, unreadable, or belongs to a different (quick, seed)
+    configuration — resuming across configurations would silently mix
+    incomparable results."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    if data.get("quick") != quick or data.get("seed") != seed:
+        print(
+            f"checkpoint {path} is from a different run "
+            f"(quick={data.get('quick')!r}, seed={data.get('seed')!r}); "
+            f"ignoring it",
+            file=sys.stderr,
+        )
+        return {}
+    done = data.get("done")
+    return done if isinstance(done, dict) else {}
+
+
+def _save_checkpoint(
+    path: pathlib.Path,
+    done: dict[str, dict],
+    *,
+    quick: bool,
+    seed: int | None,
+) -> None:
+    payload = {"quick": quick, "seed": seed, "done": done}
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)  # atomic: a mid-write kill never corrupts it
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,9 +184,52 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
+
+    ckpt_path = _checkpoint_path(args)
+    done: dict[str, dict] = {}
+    if ckpt_path is not None and args.resume:
+        done = _load_checkpoint(ckpt_path, quick=args.quick, seed=args.seed)
+
+    failures: list[dict[str, object]] = []
     for exp_id in ids:
+        if args.resume and done.get(exp_id, {}).get("status") == "ok":
+            print(f"[{exp_id} already completed; skipping (--resume)]")
+            continue
         start = time.perf_counter()
-        result = run_experiment(exp_id, quick=args.quick, seed=args.seed)
+        try:
+            result = run_experiment(
+                exp_id,
+                quick=args.quick,
+                seed=args.seed,
+                timeout=args.timeout,
+                retries=args.retries,
+            )
+        except ReproError as exc:
+            elapsed = time.perf_counter() - start
+            failure = {
+                "exp_id": exp_id,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+            }
+            failures.append(failure)
+            done[exp_id] = {
+                "status": "failed",
+                "elapsed_s": round(elapsed, 2),
+                **{k: v for k, v in failure.items() if k != "exp_id"},
+            }
+            if ckpt_path is not None:
+                _save_checkpoint(
+                    ckpt_path, done, quick=args.quick, seed=args.seed
+                )
+            print(
+                f"[{exp_id} FAILED after {elapsed:.1f}s: "
+                f"{type(exc).__name__}: {exc}]\n",
+                file=sys.stderr,
+            )
+            if not args.keep_going:
+                print(render_failures(failures), file=sys.stderr)
+                return 1
+            continue
         text = render_result(result)
         elapsed = time.perf_counter() - start
         print(text)
@@ -94,6 +247,12 @@ def main(argv: list[str] | None = None) -> int:
                 (args.out / f"{exp_id}.json").write_text(
                     json.dumps(payload, indent=2, default=str) + "\n"
                 )
+        done[exp_id] = {"status": "ok", "elapsed_s": round(elapsed, 2)}
+        if ckpt_path is not None:
+            _save_checkpoint(ckpt_path, done, quick=args.quick, seed=args.seed)
+    if failures:
+        print(render_failures(failures), file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,79 @@
+"""Noisy estimator models for the policy inputs B, k and µ.
+
+Every delay policy in this repository is parameterized by estimates —
+the abort cost ``B`` (footnote 1: transaction age + cleanup overhead),
+the conflict-chain size ``k`` (read off the waits-for graph), and the
+profiled mean remaining time ``µ`` (Theorems 2/3/5/6).  On real
+hardware none of these is exact: ages are sampled late, chains are
+racing moving targets, and profilers lag the workload.  This module
+gives both the fault-injection layer (:mod:`repro.faults`) and the
+robustness experiments one shared, seeded model of that measurement
+error: independent multiplicative log-normal noise per quantity.
+
+Log-normal is the natural choice for positive scale estimates — the
+error is symmetric in *ratio* (overestimating 2x is as likely as
+underestimating 2x), which is how profiler bias actually behaves, and
+``sigma = 0`` degenerates to the exact value without consuming
+randomness (important for the zero-fault determinism guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+__all__ = ["NoisyEstimator"]
+
+
+@dataclass(frozen=True)
+class NoisyEstimator:
+    """Multiplicative log-normal noise on the (B, k, µ) estimates.
+
+    Attributes
+    ----------
+    sigma_b / sigma_k / sigma_mu:
+        Standard deviation of ``log(estimate / truth)`` per quantity;
+        0 means the quantity is observed exactly.
+    """
+
+    sigma_b: float = 0.0
+    sigma_k: float = 0.0
+    sigma_mu: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("sigma_b", "sigma_k", "sigma_mu"):
+            if getattr(self, name) < 0:
+                raise FaultInjectionError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+
+    @property
+    def exact(self) -> bool:
+        return self.sigma_b == 0.0 and self.sigma_k == 0.0 and self.sigma_mu == 0.0
+
+    @staticmethod
+    def _factor(sigma: float, rng: np.random.Generator) -> float:
+        if sigma <= 0:
+            return 1.0
+        return float(np.exp(sigma * rng.standard_normal()))
+
+    def age_hat(self, age: int, rng: np.random.Generator) -> int:
+        """Noisy transaction age (the variable part of ``B``)."""
+        if self.sigma_b <= 0:
+            return age
+        return max(0, int(round(age * self._factor(self.sigma_b, rng))))
+
+    def k_hat(self, k: int, rng: np.random.Generator) -> int:
+        """Noisy chain size, clamped to the model's ``k >= 2`` domain."""
+        if self.sigma_k <= 0:
+            return k
+        return max(2, int(round(k * self._factor(self.sigma_k, rng))))
+
+    def mu_hat(self, mu: float, rng: np.random.Generator) -> float:
+        """Noisy profiled mean (always strictly positive)."""
+        if self.sigma_mu <= 0:
+            return mu
+        return max(1e-9, mu * self._factor(self.sigma_mu, rng))

@@ -15,6 +15,8 @@ __all__ = [
     "ProtocolError",
     "WorkloadError",
     "ExperimentError",
+    "FaultInjectionError",
+    "ExperimentTimeoutError",
 ]
 
 
@@ -63,3 +65,21 @@ class WorkloadError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment runner was misconfigured or failed to produce data."""
+
+
+class FaultInjectionError(ReproError, ValueError):
+    """A fault-injection plan is invalid.
+
+    Examples: a probability outside ``[0, 1]``, a negative hazard rate
+    or stall length, or shrinking away more cache ways than exist.
+    """
+
+
+class ExperimentTimeoutError(ExperimentError):
+    """An experiment exceeded its wall-clock budget and was killed.
+
+    Raised by the runner's watchdog (``run_experiment(timeout=...)``)
+    and by the simulation kernel's deadline hook.  Deliberately *not*
+    retried by the runner: a timeout is a budget decision, not a
+    transient fault.
+    """

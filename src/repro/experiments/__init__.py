@@ -9,14 +9,22 @@ from __future__ import annotations
 from repro.experiments.registry import (
     EXPERIMENTS,
     ExperimentResult,
+    register_experiment,
     run_experiment,
 )
-from repro.experiments.report import render_result, render_series, render_table
+from repro.experiments.report import (
+    render_failures,
+    render_result,
+    render_series,
+    render_table,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "register_experiment",
     "run_experiment",
+    "render_failures",
     "render_result",
     "render_table",
     "render_series",

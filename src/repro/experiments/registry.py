@@ -4,15 +4,31 @@ Every table and figure in the paper (and every ablation in DESIGN.md)
 has an entry here; the benchmark files and the CLI both dispatch through
 :func:`run_experiment` so there is exactly one implementation per
 artifact.
+
+:func:`run_experiment` is hardened for long batch runs (the resilience
+half of this is CLI-visible as ``--timeout`` / ``--retries``):
+
+* **Watchdog** — ``timeout`` seconds of wall clock per attempt; a
+  signal-based alarm (main thread) kills runaway experiments with
+  :class:`~repro.errors.ExperimentTimeoutError` even when they are
+  stuck outside the simulation kernel.
+* **Retry with exponential backoff** — ``retries`` extra attempts for
+  transient :class:`~repro.errors.SimulationError` failures (the kind
+  injected faults produce); timeouts and misconfigurations are never
+  retried.
 """
 
 from __future__ import annotations
 
+import contextlib
 import inspect
+import signal
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ExperimentTimeoutError, SimulationError
 from repro.experiments import (
     ablations,
     chains,
@@ -20,12 +36,18 @@ from repro.experiments import (
     fig2,
     fig3,
     regimes,
+    robustness,
     scorecard,
     tables,
     throughput,
 )
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "register_experiment",
+]
 
 
 @dataclass
@@ -223,6 +245,27 @@ _SPECS: dict[str, _Spec] = {
         dict(quick=True),
         "one pass/fail row per paper claim; TOTAL row aggregates",
     ),
+    "robustness": _Spec(
+        "Robustness: policy throughput degradation vs injected fault rate",
+        robustness.run_robustness,
+        dict(),
+        dict(
+            spurious_rates=(0.0, 1e-3),
+            n_cores=4,
+            horizon=30_000.0,
+            policies=("NO_DELAY", "DELAY_RAND"),
+        ),
+        "delay policies should degrade gracefully (no cliff) as the "
+        "machine injects spurious aborts, link jitter, and stalls",
+    ),
+    "robustness_est": _Spec(
+        "Robustness: competitive ratio vs B/k/mu estimator noise",
+        robustness.run_robustness_est,
+        dict(),
+        dict(sigmas=(0.0, 0.5), draws=12),
+        "mean-constrained policies are the noise-sensitive ones "
+        "(Thm 2/5 regime); unconstrained RRW degrades smoothly",
+    ),
     "ext_throughput": _Spec(
         "Extension: time-resolved arena under both adversary models",
         throughput.run_ext_throughput,
@@ -237,23 +280,109 @@ _SPECS: dict[str, _Spec] = {
 EXPERIMENTS: dict[str, str] = {k: s.title for k, s in _SPECS.items()}
 
 
+def register_experiment(
+    exp_id: str,
+    title: str,
+    runner: Callable[..., list[dict[str, object]]],
+    *,
+    full_kwargs: dict | None = None,
+    quick_kwargs: dict | None = None,
+    notes: str = "",
+    replace: bool = False,
+) -> None:
+    """Register an experiment at runtime (extensions, test doubles).
+
+    The CLI and :func:`run_experiment` see it immediately; ``replace``
+    guards against accidental shadowing of a built-in artifact.
+    """
+    if exp_id in _SPECS and not replace:
+        raise ExperimentError(
+            f"experiment {exp_id!r} already registered (pass replace=True)"
+        )
+    _SPECS[exp_id] = _Spec(
+        title, runner, full_kwargs or {}, quick_kwargs or {}, notes
+    )
+    EXPERIMENTS[exp_id] = title
+
+
+@contextlib.contextmanager
+def _watchdog(seconds: float | None, exp_id: str):
+    """Wall-clock kill switch around one experiment attempt.
+
+    Uses ``SIGALRM`` so even loops that never re-enter the simulation
+    kernel get interrupted.  Signals only work on the main thread;
+    elsewhere the engine-level deadline (``Machine.run(wall_timeout)``)
+    remains the only enforcement, so we degrade to a no-op rather than
+    refusing to run.
+    """
+    if seconds is None or seconds <= 0:
+        yield
+        return
+    if (
+        threading.current_thread() is not threading.main_thread()
+        or not hasattr(signal, "SIGALRM")
+    ):  # pragma: no cover - platform/thread dependent
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise ExperimentTimeoutError(
+            f"experiment {exp_id!r} exceeded its {seconds:g}s wall-clock "
+            f"budget (watchdog)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def run_experiment(
-    exp_id: str, *, quick: bool = False, seed: int | None = None, **overrides
+    exp_id: str,
+    *,
+    quick: bool = False,
+    seed: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    retry_backoff: float = 0.05,
+    **overrides,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
     ``quick`` shrinks trial counts/horizons for CI; ``overrides`` are
-    forwarded to the runner (after the mode defaults).
+    forwarded to the runner (after the mode defaults).  ``timeout``
+    arms a per-attempt wall-clock watchdog; ``retries`` re-runs the
+    experiment (exponential backoff starting at ``retry_backoff``
+    seconds) when it dies with a transient
+    :class:`~repro.errors.SimulationError` — the failure mode injected
+    faults produce.  Timeouts, bad parameters, and unknown ids are
+    never retried.
     """
     spec = _SPECS.get(exp_id)
     if spec is None:
         known = ", ".join(sorted(_SPECS))
         raise ExperimentError(f"unknown experiment {exp_id!r}; known: {known}")
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
     kwargs = dict(spec.quick_kwargs if quick else spec.full_kwargs)
     kwargs.update(overrides)
     if seed is not None and "seed" in inspect.signature(spec.runner).parameters:
         kwargs.setdefault("seed", seed)
-    rows = spec.runner(**kwargs)
+    attempts = retries + 1
+    for attempt in range(attempts):
+        try:
+            with _watchdog(timeout, exp_id):
+                rows = spec.runner(**kwargs)
+            break
+        except ExperimentTimeoutError:
+            raise  # a timeout is a budget decision, not a transient fault
+        except SimulationError:
+            if attempt + 1 >= attempts:
+                raise
+            time.sleep(retry_backoff * (2**attempt))
     return ExperimentResult(
         exp_id=exp_id,
         title=spec.title,

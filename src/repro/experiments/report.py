@@ -13,7 +13,13 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.registry import ExperimentResult
 
-__all__ = ["render_table", "render_series", "render_result", "ascii_bars"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_result",
+    "render_failures",
+    "ascii_bars",
+]
 
 
 def _fmt(value: object, ndigits: int = 4) -> str:
@@ -85,6 +91,21 @@ def render_series(
             row[name] = ys[i]
         rows.append(row)
     return render_table(rows, title=title)
+
+
+def render_failures(failures: Sequence[Mapping[str, object]]) -> str:
+    """Per-experiment failure summary (the CLI's ``--keep-going``
+    epilogue).  Each entry carries ``exp_id``, ``error_type``, and
+    ``error``; the summary is also what lands in the checkpoint file."""
+    if not failures:
+        return "all experiments completed"
+    lines = [f"{len(failures)} experiment(s) FAILED:"]
+    for failure in failures:
+        lines.append(
+            f"  {str(failure['exp_id']):16s} "
+            f"{failure['error_type']}: {failure['error']}"
+        )
+    return "\n".join(lines)
 
 
 def render_result(result: "ExperimentResult") -> str:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
-from repro.errors import ExperimentError
+from repro.errors import ReproError
 
 __all__ = ["run_scorecard"]
 
@@ -75,6 +75,14 @@ def _grade_hybrid(rows) -> tuple[bool, str]:
     return ok, "RA at k=2, RW for chains (Implications)"
 
 
+def _grade_robustness(rows) -> tuple[bool, str]:
+    faulty = [r for r in rows if r["fault_rate"] > 0]
+    ok = bool(faulty) and all(
+        r["faults"] > 0 and r["retained"] >= 0.4 for r in faulty
+    )
+    return ok, "throughput degrades gracefully under injected faults"
+
+
 #: claim graders per experiment id (quick-mode rows in, verdict out).
 _GRADERS: dict[str, Callable] = {
     "fig2a": _grade_fig2a,
@@ -88,6 +96,7 @@ _GRADERS: dict[str, Callable] = {
     "cor1": _grade_cor1,
     "cor2": _grade_cor2,
     "abl_hybrid": _grade_hybrid,
+    "robustness": _grade_robustness,
 }
 
 
@@ -109,7 +118,10 @@ def run_scorecard(
                     "reproduced": passed,
                 }
             )
-        except ExperimentError as exc:  # pragma: no cover - config errors
+        except ReproError as exc:  # pragma: no cover - failed artifacts
+            # ReproError (not just ExperimentError): a graded artifact
+            # that dies with a simulation/timeout/fault error should
+            # show up as a failed claim, not abort the whole scorecard
             rows.append(
                 {"artifact": exp_id, "claim": repr(exc), "reproduced": False}
             )

@@ -57,6 +57,16 @@ class L1Cache:
             {} for _ in range(params.l1_sets)
         ]
         self._tick = 0
+        # Ways temporarily unavailable to new fills (fault injection:
+        # SMT-sibling / way-partitioning pressure).  Reduces the
+        # *effective* associativity victim selection works with; lines
+        # already resident above the shrunk limit stay resident until
+        # a fill needs their set, so shrinking mid-run is safe.
+        self.reserved_ways = 0
+
+    @property
+    def effective_assoc(self) -> int:
+        return max(1, self.params.l1_assoc - self.reserved_ways)
 
     # -- lookup -----------------------------------------------------------
     def _set_of(self, line: int) -> dict[int, CacheLine]:
@@ -83,7 +93,7 @@ class L1Cache:
         """The line that must be evicted to make room for ``line``
         (None if the set has a free way or the line is resident)."""
         bucket = self._set_of(line)
-        if line in bucket or len(bucket) < self.params.l1_assoc:
+        if line in bucket or len(bucket) < self.effective_assoc:
             return None
         return min(bucket.values(), key=lambda e: e.lru)
 

@@ -45,6 +45,7 @@ class AbortReason(enum.Enum):
     CYCLE = "cycle"                            # waits-for cycle broken
     EXPLICIT = "explicit"                      # workload self-abort
     NACKED = "nacked"                          # requestor-aborts resolution
+    SPURIOUS = "spurious"                      # injected machine fault
 
 
 @dataclass
@@ -101,6 +102,7 @@ class CoreMemSystem:
         self.write_buffer = {}
         self._abort_cb = abort_cb
         self.stats.tx_started += 1
+        self.machine.faults.on_begin_tx(self)
         return self.tx_epoch
 
     def next_commit_addr(self) -> int | None:
@@ -153,10 +155,15 @@ class CoreMemSystem:
         self.tx_active = False
         self._abort_cb = None
         self._cancel_grace()
+        self.machine.faults.on_end_tx(self)
         self.stats.tx_committed += 1
         duration = self.sim.now - self.tx_start
-        for observer in self.machine.commit_observers:
-            observer(duration)
+        if self.machine.commit_observers:
+            # µ-estimator noise perturbs what the online profiler sees
+            # (the trace below keeps the true duration)
+            observed = self.machine.faults.noisy_commit_duration(duration)
+            for observer in self.machine.commit_observers:
+                observer(observed)
         if self.machine.tracer.enabled:
             self.machine.tracer.emit(
                 self.sim.now, "commit", self.core_id, duration=duration
@@ -175,6 +182,7 @@ class CoreMemSystem:
             self.machine.directory.drop_sharer(self.core_id, line)
         self.tx_active = False
         self._cancel_grace()
+        self.machine.faults.on_end_tx(self)
         self.stats.tx_aborted += 1
         self.stats.abort_reasons[reason.value] = (
             self.stats.abort_reasons.get(reason.value, 0) + 1
@@ -415,9 +423,14 @@ class CoreMemSystem:
         if self._grace_event is None:
             k = self.machine.chain_size(self.core_id)
             req_mem = self.machine.mems[requestor]
+            # estimator-noise faults perturb the (age, k) the policy
+            # sees; exact pass-through without a fault plan
+            age_hat, k_hat = self.machine.faults.noisy_context(
+                self.tx_age(), max(k, 2)
+            )
             ctx = ConflictContext(
-                tx_age=self.tx_age(),
-                chain_k=max(k, 2),
+                tx_age=age_hat,
+                chain_k=max(k_hat, 2),
                 params=self.params,
                 requestor_age=req_mem.tx_age() if req_mem.tx_active else None,
             )

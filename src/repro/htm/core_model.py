@@ -247,7 +247,10 @@ class Core:
         self._op.on_commit(self.machine, self.core_id, result)
         self._op = None
         self._gen = None
-        self.sim.after(1, self._next_op, label="next-op")
+        # injected core stalls (OS preemption / SMT interference) land
+        # at the operation boundary; 0 without a fault plan
+        stall = self.machine.faults.stall_cycles()
+        self.sim.after(1 + stall, self._next_op, label="next-op")
 
     # ------------------------------------------------------------------
     def _on_abort(self, reason: AbortReason) -> None:

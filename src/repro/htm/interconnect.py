@@ -5,6 +5,9 @@ Graphite models a 2D mesh; the default simulator charges a flat
 latencies:
 
 * :class:`FixedLatency` — the default: every traversal costs ``hop``.
+* :class:`JitteredTopology` — decorator adding seeded random extra
+  latency to a fraction of traversals (congestion / flaky links; used
+  by the fault-injection layer, :mod:`repro.faults`).
 * :class:`MeshTopology` — cores at positions of a near-square 2D grid,
   **distributed directory** with per-line home tiles
   (``home = line mod n_tiles``, the standard static interleave); a
@@ -24,7 +27,7 @@ import math
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["Topology", "FixedLatency", "MeshTopology"]
+__all__ = ["Topology", "FixedLatency", "MeshTopology", "JitteredTopology"]
 
 
 class Topology(abc.ABC):
@@ -60,6 +63,58 @@ class FixedLatency(Topology):
 
     def dir_to_core(self, line: int, core: int) -> int:
         return self.hop
+
+
+class JitteredTopology(Topology):
+    """Decorator: delay a fraction of traversals by a random extra.
+
+    With probability ``rate`` a traversal pays ``1..max_extra`` extra
+    cycles (uniform, drawn from a dedicated seeded stream so the
+    underlying machine's randomness is untouched).  Requests, probes,
+    grants, and acks all pass through the topology, so jitter lands on
+    every coherence message class — including the probe path the
+    paper's grace-period mechanism rides on.
+    """
+
+    def __init__(
+        self,
+        inner: Topology,
+        rng,
+        *,
+        rate: float,
+        max_extra: int,
+        on_jitter=None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise InvalidParameterError(f"rate must be in [0, 1], got {rate}")
+        if max_extra < 1:
+            raise InvalidParameterError(
+                f"max_extra must be >= 1, got {max_extra}"
+            )
+        self.inner = inner
+        self.rng = rng
+        self.rate = rate
+        self.max_extra = max_extra
+        self.on_jitter = on_jitter
+
+    def _extra(self) -> int:
+        if self.rng.random() >= self.rate:
+            return 0
+        if self.on_jitter is not None:
+            self.on_jitter()
+        return int(self.rng.integers(1, self.max_extra + 1))
+
+    def core_to_dir(self, core: int, line: int) -> int:
+        return self.inner.core_to_dir(core, line) + self._extra()
+
+    def dir_to_core(self, line: int, core: int) -> int:
+        return self.inner.dir_to_core(line, core) + self._extra()
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Jittered({self.inner.describe()}, rate={self.rate:g}, "
+            f"max_extra={self.max_extra})"
+        )
 
 
 class MeshTopology(Topology):

@@ -14,6 +14,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import InvalidParameterError, SimulationError
+from repro.faults.injectors import injector_for
+from repro.faults.plan import FaultPlan
 from repro.htm.conflict_policy import CyclePolicy
 from repro.htm.controller import AbortReason, CoreMemSystem
 from repro.htm.directory import Directory
@@ -48,9 +50,17 @@ class Machine:
         detect_cycles: bool = True,
         wedge_aware: bool = True,
         topology=None,
+        faults: "FaultPlan | dict | None" = None,
     ) -> None:
         self.params = params
         self.sim = Simulator()
+        # fault injection (repro.faults): a null plan keeps the shared
+        # inert injector, so clean runs are byte-identical to a machine
+        # built without the fault layer
+        if isinstance(faults, dict):
+            faults = FaultPlan.from_dict(faults)
+        self.fault_plan = faults
+        self.faults = injector_for(faults)
         self.memory: dict[int, int] = {}
         self.stats = MachineStats(params.n_cores)
         self.detect_cycles = detect_cycles
@@ -129,6 +139,11 @@ class Machine:
             Core(i, self, self.mems[i], workload, self._streams[n + i])
             for i in range(n)
         ]
+        # Arm the injector last: its streams derive from the "faults"
+        # namespace of the same seed, independent of every per-core
+        # stream spawned above (loading with a plan never perturbs the
+        # workload's own randomness).
+        self.faults.arm(self, seed if isinstance(seed, int) else None)
 
     def run(
         self,
@@ -136,6 +151,7 @@ class Machine:
         *,
         warmup_cycles: float = 0.0,
         drain: bool = True,
+        wall_timeout: float | None = None,
     ) -> MachineStats:
         """Run all cores until the cycle horizon; returns the stats.
 
@@ -146,18 +162,29 @@ class Machine:
         state (no torn in-flight transactions).  Throughput uses the
         horizon window; at most one drained op per core lands outside
         it.
+
+        ``wall_timeout`` (seconds) arms the simulation kernel's
+        watchdog: the run raises
+        :class:`~repro.errors.ExperimentTimeoutError` if it exceeds the
+        wall-clock budget — the embedder-level safety net behind the
+        experiment runner's ``--timeout``.
         """
         if not self.cores:
             raise SimulationError("load() a workload before run()")
         if horizon_cycles <= warmup_cycles:
             raise InvalidParameterError("horizon must exceed warmup")
+        deadline = None
+        if wall_timeout is not None:
+            import time
+
+            deadline = time.monotonic() + wall_timeout
         self.draining = False
         for core in self.cores:
             core.start()
         if warmup_cycles > 0.0:
-            self.sim.run(until=warmup_cycles)
+            self.sim.run(until=warmup_cycles, wall_deadline=deadline)
             self._reset_counters()
-        self.sim.run(until=horizon_cycles)
+        self.sim.run(until=horizon_cycles, wall_deadline=deadline)
         self.stats.cycles = horizon_cycles - warmup_cycles
         if drain:
             self.draining = True
@@ -166,6 +193,7 @@ class Machine:
             self.sim.run(
                 until=horizon_cycles + max(1e6, horizon_cycles),
                 stop_when=lambda: all(c.idle for c in self.cores),
+                wall_deadline=deadline,
             )
             if not all(c.idle for c in self.cores):
                 raise SimulationError(
@@ -186,6 +214,10 @@ class Machine:
     # Probe delivery (directory -> core controller)
     # ------------------------------------------------------------------
     def _deliver_probe(self, target, line, exclusive, requestor, ack) -> None:
+        # at-least-once fabrics may duplicate the probe in flight; the
+        # receiver dedupes by message id, so the duplicate is counted
+        # by the injector and dropped here (see docs/ROBUSTNESS.md)
+        self.faults.probe_duplicated()
         self.mems[target].handle_probe(line, exclusive, requestor, ack)
 
     # ------------------------------------------------------------------

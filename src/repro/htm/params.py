@@ -8,7 +8,7 @@ constants, which the ablation benches confirm).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.errors import InvalidParameterError
 
@@ -95,3 +95,14 @@ class MachineParams:
     def with_cores(self, n_cores: int) -> "MachineParams":
         """Copy with a different core count (thread sweeps)."""
         return replace(self, n_cores=n_cores)
+
+    def with_updates(self, **updates) -> "MachineParams":
+        """Validated copy with arbitrary field overrides (robustness
+        sweeps perturb several fields at once; ``replace`` re-runs
+        ``__post_init__`` so invalid combinations still raise)."""
+        unknown = set(updates) - {f.name for f in fields(self)}
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown MachineParams fields: {sorted(unknown)}"
+            )
+        return replace(self, **updates)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.sim.stats import Welford
@@ -40,6 +42,9 @@ class MachineStats:
         self._cores = [CoreStats(core_id=i) for i in range(n_cores)]
         self.cycles = 0.0
         self.cycle_aborts = 0
+        # injected-fault event counts (empty without a FaultPlan);
+        # written by repro.faults.FaultInjector
+        self.fault_counters: dict[str, int] = {}
 
     def core(self, core_id: int) -> CoreStats:
         return self._cores[core_id]
@@ -95,3 +100,41 @@ class MachineStats:
             "l1_misses": float(self.total("l1_misses")),
             "conflicts": float(self.total("conflicts_received")),
         }
+
+    def digest(self) -> str:
+        """Content hash over every counter this object tracks.
+
+        Two runs are behaviorally identical iff their digests match —
+        the determinism regression tests compare these instead of
+        cherry-picked counters, so any divergence anywhere in the stats
+        (per-core counts, abort-reason breakdowns, grace-delay moments,
+        fault counters) is caught.
+        """
+        payload = {
+            "cycles": self.cycles,
+            "cycle_aborts": self.cycle_aborts,
+            "fault_counters": dict(sorted(self.fault_counters.items())),
+            "cores": [
+                {
+                    "core_id": c.core_id,
+                    "tx_started": c.tx_started,
+                    "tx_committed": c.tx_committed,
+                    "tx_aborted": c.tx_aborted,
+                    "ops_completed": c.ops_completed,
+                    "fallback_ops": c.fallback_ops,
+                    "l1_hits": c.l1_hits,
+                    "l1_misses": c.l1_misses,
+                    "writebacks": c.writebacks,
+                    "conflicts_received": c.conflicts_received,
+                    "nacks_sent": c.nacks_sent,
+                    "abort_reasons": dict(sorted(c.abort_reasons.items())),
+                    "grace_n": c.grace_delay_stats.n,
+                    "grace_mean": repr(c.grace_delay_stats.mean),
+                    "grace_min": repr(c.grace_delay_stats.min),
+                    "grace_max": repr(c.grace_delay_stats.max),
+                }
+                for c in self._cores
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()

@@ -9,6 +9,16 @@ Design notes
 * **Cancellation by invalidation.**  ``cancel()`` marks the event dead
   in O(1); dead events are skipped on pop (the standard lazy-deletion
   heap idiom — cheaper than heap surgery and amortized O(log n)).
+  When dead events outnumber live ones the heap is *compacted* (rebuilt
+  from the live events) so long adversarial runs with heavy
+  cancellation — grace timers killed by cycle aborts, fault-injected
+  spurious aborts — keep memory proportional to live events instead of
+  growing without bound.
+* **Watchdog.**  ``run(wall_deadline=...)`` checks the wall clock every
+  few thousand events and raises
+  :class:`~repro.errors.ExperimentTimeoutError` past the deadline — the
+  kernel-level half of the experiment runner's timeout story (the
+  runner also arms a signal-based watchdog for non-kernel loops).
 * **No co-routines.**  Handlers are plain callables; components keep
   explicit state machines.  This is intentional: the HTM controllers
   are specified as state machines (MSI tables), and explicit states are
@@ -20,10 +30,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import SimulationError
+from repro.errors import ExperimentTimeoutError, SimulationError
 
 __all__ = ["Event", "EventQueue", "Simulator"]
 
@@ -54,12 +65,24 @@ class Event:
 
 
 class EventQueue:
-    """Binary-heap priority queue of :class:`Event` with lazy deletion."""
+    """Binary-heap priority queue of :class:`Event` with lazy deletion.
+
+    Dead (cancelled) events are skipped on pop; when they outnumber the
+    live events the heap is compacted.  Without compaction a long run
+    that cancels faster than it pops — adversarial cycle-abort storms
+    cancelling grace timers, fault-injected abort timers — grows the
+    heap without bound.
+    """
+
+    #: Compaction only kicks in above this many dead events, so small
+    #: queues never pay a rebuild.
+    COMPACT_MIN_DEAD = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self._dead = 0
 
     def push(self, event: Event) -> Event:
         if not math.isfinite(event.time):
@@ -74,6 +97,7 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._live -= 1
             return event
@@ -83,12 +107,29 @@ class EventQueue:
         """Timestamp of the next live event without popping it."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._dead -= 1
         return self._heap[0].time if self._heap else None
 
     def cancel(self, event: Event) -> None:
         if not event.cancelled:
             event.cancel()
             self._live -= 1
+            self._dead += 1
+            if self._dead > self.COMPACT_MIN_DEAD and self._dead > self._live:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live events only.  ``heapify`` is O(n)
+        and the (time, seq) ordering is preserved exactly, so firing
+        order — and therefore simulation determinism — is unaffected."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
+    def heap_size(self) -> int:
+        """Physical heap length including dead entries (observability
+        for the compaction tests and memory diagnostics)."""
+        return len(self._heap)
 
     def __len__(self) -> int:
         return self._live
@@ -163,12 +204,17 @@ class Simulator:
         event.fire()
         return True
 
+    #: Events between wall-clock deadline checks (cheap enough to leave
+    #: on; a check is one ``time.monotonic`` call per batch).
+    WATCHDOG_EVERY = 4096
+
     def run(
         self,
         until: float = math.inf,
         *,
         max_events: int | None = None,
         stop_when: Callable[[], bool] | None = None,
+        wall_deadline: float | None = None,
     ) -> float:
         """Run until the queue drains, ``until`` is reached, ``stop_when``
         returns True, or ``max_events`` have fired.  Returns the final
@@ -177,6 +223,12 @@ class Simulator:
         ``until`` is exclusive: an event at exactly ``until`` does not
         fire, and the clock is advanced to ``until`` when the horizon is
         the binding stop condition.
+
+        ``wall_deadline`` is an absolute ``time.monotonic()`` instant;
+        every :data:`WATCHDOG_EVERY` events the clock is checked and
+        :class:`~repro.errors.ExperimentTimeoutError` raised past it.
+        The simulation is left in a consistent (resumable) state — the
+        deadline fires between events, never inside a handler.
         """
         if self._running:
             raise SimulationError("run() is not re-entrant")
@@ -188,6 +240,15 @@ class Simulator:
                     break
                 if max_events is not None and fired >= max_events:
                     break
+                if (
+                    wall_deadline is not None
+                    and fired % self.WATCHDOG_EVERY == 0
+                    and time.monotonic() >= wall_deadline
+                ):
+                    raise ExperimentTimeoutError(
+                        f"simulation exceeded its wall-clock budget at "
+                        f"t={self.now:.0f} after {self.events_fired} events"
+                    )
                 nxt = self.queue.peek_time()
                 if nxt is None:
                     break

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.faults import FaultPlan
 from repro.htm import (
     DetDelay,
     GreedyCM,
@@ -76,6 +77,27 @@ def _random_config(rng):
     return params, topology, policy_factory, workload, wedge, cycles
 
 
+def _random_plan(rng) -> FaultPlan:
+    """A random active fault plan; every injector has a chance to be on
+    and at least one always is (the all-off draw re-rolls spurious)."""
+    plan = FaultPlan(
+        spurious_abort_rate=float(rng.choice([0.0, 5e-4, 2e-3, 5e-3])),
+        capacity_shrink_prob=float(rng.choice([0.0, 0.2, 0.5])),
+        capacity_ways_lost=int(rng.choice([1, 2, 4])),
+        link_jitter_rate=float(rng.choice([0.0, 0.1, 0.4])),
+        link_jitter_cycles=int(rng.choice([1, 8, 32])),
+        probe_dup_rate=float(rng.choice([0.0, 0.05, 0.2])),
+        stall_rate=float(rng.choice([0.0, 0.05, 0.2])),
+        stall_cycles=int(rng.choice([10, 100, 400])),
+        b_noise=float(rng.choice([0.0, 0.3, 1.0])),
+        k_noise=float(rng.choice([0.0, 0.3, 1.0])),
+        mu_noise=float(rng.choice([0.0, 0.5])),
+    )
+    if plan.is_null():
+        plan = FaultPlan(spurious_abort_rate=2e-3)
+    return plan
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", range(24))
 def test_random_machine_configuration(seed):
@@ -96,3 +118,33 @@ def test_random_machine_configuration(seed):
     machine.check_invariants()
     assert machine._waits == {}, "waits-for edges leaked"
     assert stats.ops_completed > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(24))
+def test_random_machine_with_faults(seed):
+    """Fault injection must never break linearizability: under random
+    spurious aborts, capacity pressure, delayed/duplicated coherence
+    messages, stalls, and estimator noise, the run still drains,
+    ``workload.verify`` passes (no WorkloadError), and every protocol
+    invariant holds.  Faults cost throughput, never correctness."""
+    rng = ensure_rng(20_000 + seed)
+    params, topology, policy_factory, workload, wedge, cycles = _random_config(
+        rng
+    )
+    plan = _random_plan(rng)
+    machine = Machine(
+        params,
+        lambda i: policy_factory(),
+        topology=topology,
+        wedge_aware=wedge,
+        detect_cycles=cycles,
+        faults=plan,
+    )
+    machine.load(workload, seed=seed)
+    stats = machine.run(40_000.0)
+    workload.verify(machine)  # raises WorkloadError on corruption
+    machine.check_invariants()
+    assert machine._waits == {}, "waits-for edges leaked"
+    assert stats.ops_completed > 0
+    assert sum(stats.fault_counters.values()) > 0, plan.describe()

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import math
+import time
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ExperimentTimeoutError, SimulationError
 from repro.sim.engine import Event, EventQueue, Simulator
 
 
@@ -62,6 +63,85 @@ class TestEventQueue:
     def test_infinite_time_rejected(self):
         with pytest.raises(SimulationError):
             EventQueue().push(Event(math.inf, lambda: None))
+
+
+class TestCompaction:
+    """Lazy-deletion bookkeeping: cancelled events must not accumulate
+    in the physical heap once they outnumber the live ones."""
+
+    def test_heavy_cancellation_compacts(self):
+        q = EventQueue()
+        events = [q.push(Event(float(t), lambda: None)) for t in range(500)]
+        keep = events[::10]
+        for evt in events:
+            if evt not in keep:
+                q.cancel(evt)
+        assert len(q) == len(keep)
+        # rebuilds happened along the way; at most one compaction
+        # window of corpses (COMPACT_MIN_DEAD) may remain
+        assert q.heap_size() <= len(keep) + EventQueue.COMPACT_MIN_DEAD
+
+    def test_small_queues_never_compact(self):
+        q = EventQueue()
+        events = [q.push(Event(float(t), lambda: None)) for t in range(40)]
+        for evt in events:
+            q.cancel(evt)
+        # below COMPACT_MIN_DEAD: lazy deletion only, no rebuild
+        assert len(q) == 0
+        assert q.heap_size() == 40
+        assert q.pop() is None
+        assert q.heap_size() == 0  # popping drains the corpses
+
+    def test_firing_order_survives_compaction(self):
+        """Equal-time events must still fire in insertion order after a
+        rebuild (the (time, seq) key is preserved by heapify)."""
+
+        def run(compact: bool) -> list[int]:
+            q = EventQueue()
+            order: list[int] = []
+            live = [
+                q.push(Event(5.0, order.append, (tag,)))
+                for tag in range(200)
+            ]
+            dead = [q.push(Event(4.0, order.append, (-1,))) for _ in range(300)]
+            if compact:
+                for evt in dead:
+                    q.cancel(evt)  # triggers compaction
+                assert (
+                    q.heap_size()
+                    <= len(live) + EventQueue.COMPACT_MIN_DEAD
+                )
+            else:
+                for evt in dead:
+                    evt.cancel()  # mark dead without queue bookkeeping
+            while True:
+                evt = q.pop()
+                if evt is None:
+                    return order
+                evt.fire()
+
+        assert run(compact=True) == run(compact=False) == list(range(200))
+
+    def test_cancellation_storm_keeps_heap_bounded(self):
+        """The grace-timer pattern: schedule + cancel in a loop must not
+        grow the physical heap without bound."""
+        q = EventQueue()
+        anchor = q.push(Event(1e9, lambda: None))
+        for t in range(10_000):
+            q.cancel(q.push(Event(float(t), lambda: None)))
+        assert len(q) == 1
+        assert q.heap_size() <= 2 * EventQueue.COMPACT_MIN_DEAD + 2
+        assert q.pop() is anchor
+
+    def test_simulator_cancel_compacts(self):
+        sim = Simulator()
+        keeper = []
+        sim.at(50.0, lambda: keeper.append(sim.now))
+        for t in range(300):
+            sim.cancel(sim.at(float(t), lambda: None))
+        assert sim.queue.heap_size() <= EventQueue.COMPACT_MIN_DEAD + 2
+        sim.run()
+        assert keeper == [50.0]
 
 
 class TestSimulator:
@@ -184,6 +264,20 @@ class TestSimulator:
         profile = sim.event_profile()
         assert profile["tick"] == 3
         assert profile["<unlabeled>"] == 1
+
+    def test_wall_deadline_expired_raises(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        with pytest.raises(ExperimentTimeoutError):
+            sim.run(wall_deadline=time.monotonic() - 1.0)
+
+    def test_wall_deadline_far_future_completes(self):
+        sim = Simulator()
+        fired = []
+        for t in range(10):
+            sim.at(float(t), lambda: fired.append(1))
+        sim.run(wall_deadline=time.monotonic() + 3600.0)
+        assert len(fired) == 10
 
     def test_deterministic_replay(self):
         def build_and_run():
