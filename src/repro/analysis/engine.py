@@ -1,0 +1,252 @@
+"""simlint engine: file discovery, parsing, suppression, rule dispatch.
+
+The engine parses every target file once, runs the single-file rules,
+then hands the whole parsed set to the project rules (cross-file
+contracts).  Suppression is line-scoped and per-rule::
+
+    deadline = time.monotonic() + t  # simlint: disable=DET001 -- watchdog
+
+``# simlint: disable`` (no ``=``) suppresses every rule on that line;
+``# simlint: skip-file`` near the top of a file excludes it entirely.
+The text after ``--`` is the justification and is carried into the
+JSON report, so suppressions stay auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.rules import (
+    ALL_RULES,
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    SCOPED_DIRS,
+    resolve_selection,
+)
+
+__all__ = ["LintResult", "SuppressedFinding", "lint_paths", "lint_sources"]
+
+#: Rule id used for files that do not parse.  Not suppressible: a file
+#: that cannot be parsed cannot be linted, which is itself a finding.
+PARSE_ERROR_RULE = "E999"
+
+_PRAGMA = re.compile(
+    r"#\s*simlint:\s*(?P<kind>skip-file|disable)"
+    r"(?:=(?P<rules>[A-Za-z]{1,4}\d{0,4}(?:\s*,\s*[A-Za-z]{1,4}\d{0,4})*))?"
+    r"(?:\s*--\s*(?P<reason>.*))?"
+)
+
+#: ``skip-file`` must appear in the first N lines (prevents a stray
+#: pragma deep in a file from silently excluding it).
+_SKIP_FILE_WINDOW = 10
+
+
+@dataclass(frozen=True, order=True)
+class SuppressedFinding:
+    finding: Finding
+    reason: str = ""
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[SuppressedFinding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def _parse_pragmas(
+    source: str,
+) -> tuple[bool, dict[int, set[str] | None], dict[int, str]]:
+    """(skip_file, line -> suppressed rule ids (None = all), line -> reason)."""
+    skip_file = False
+    suppressions: dict[int, set[str] | None] = {}
+    reasons: dict[int, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        if match.group("kind") == "skip-file":
+            if lineno <= _SKIP_FILE_WINDOW:
+                skip_file = True
+            continue
+        rules_text = match.group("rules")
+        if rules_text:
+            ids = {r.strip().upper() for r in rules_text.split(",")}
+            existing = suppressions.get(lineno)
+            suppressions[lineno] = (
+                None if existing is None and lineno in suppressions
+                else (existing or set()) | ids
+            )
+        else:
+            suppressions[lineno] = None  # blanket disable
+        reason = match.group("reason")
+        if reason:
+            reasons[lineno] = reason.strip()
+    return skip_file, suppressions, reasons
+
+
+def _in_scope(path: str) -> bool:
+    parts = Path(path).parts
+    return bool(SCOPED_DIRS.intersection(parts))
+
+
+def _make_context(path: str, source: str) -> FileContext | Finding:
+    """Parse one file; a syntax error becomes an E999 finding."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return Finding(
+            path,
+            exc.lineno or 1,
+            (exc.offset or 0) + 1,
+            PARSE_ERROR_RULE,
+            f"file does not parse: {exc.msg}",
+        )
+    skip_file, suppressions, reasons = _parse_pragmas(source)
+    return FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        in_scope=_in_scope(path),
+        skip_file=skip_file,
+        suppressions=suppressions,
+        reasons=reasons,
+    )
+
+
+def _run_rules(
+    ctxs: list[FileContext],
+    rules: Sequence[Rule],
+    pre_findings: list[Finding],
+) -> LintResult:
+    result = LintResult(
+        findings=list(pre_findings),
+        files_scanned=len(ctxs) + len(pre_findings),
+        rules_run=[r.id for r in rules],
+    )
+    by_path = {ctx.path: ctx for ctx in ctxs}
+    live = [ctx for ctx in ctxs if not ctx.skip_file]
+
+    def route(finding: Finding) -> None:
+        ctx = by_path.get(finding.path)
+        if ctx is not None:
+            if ctx.skip_file:
+                return
+            suppressed = ctx.suppressions.get(finding.line, "missing")
+            if suppressed is None or (
+                isinstance(suppressed, set) and finding.rule in suppressed
+            ):
+                result.suppressed.append(
+                    SuppressedFinding(
+                        finding, ctx.reasons.get(finding.line, "")
+                    )
+                )
+                return
+        result.findings.append(finding)
+
+    for ctx in live:
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            if rule.scoped and not ctx.in_scope:
+                continue
+            for finding in rule.check(ctx):
+                route(finding)
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            for finding in rule.check_project(live):
+                route(finding)
+    result.findings = sorted(set(result.findings))
+    result.suppressed = sorted(set(result.suppressed))
+    return result
+
+
+def lint_sources(
+    sources: dict[str, str],
+    *,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> LintResult:
+    """Lint in-memory sources (path -> text).  Test/fixture entry point;
+    paths behave like repo-relative paths for scoping purposes."""
+    rules = resolve_selection(select, ignore)
+    ctxs: list[FileContext] = []
+    errors: list[Finding] = []
+    for path, source in sorted(sources.items()):
+        made = _make_context(path, source)
+        if isinstance(made, Finding):
+            errors.append(made)
+        else:
+            ctxs.append(made)
+    return _run_rules(ctxs, rules, errors)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files or directories),
+    deterministic order, ``__pycache__``/hidden dirs skipped."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            out.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                parts = sub.relative_to(path).parts
+                if any(
+                    p == "__pycache__" or p.startswith(".") for p in parts
+                ):
+                    continue
+                out.append(sub)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    # stable de-dup (a file passed twice, or a file inside a passed dir)
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in out:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _display_path(path: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> LintResult:
+    """Lint files/directories on disk.  Raises ``FileNotFoundError``
+    for a missing path and ``ValueError`` for an unknown rule id."""
+    files = iter_python_files(paths)
+    sources: dict[str, str] = {}
+    for file in files:
+        sources[_display_path(file)] = file.read_text(encoding="utf-8")
+    return lint_sources(sources, select=select, ignore=ignore)

@@ -1,0 +1,186 @@
+"""DET — determinism rules for simulation-critical code.
+
+The simulator's contract is bit-determinism under a seed: every stats
+digest, ratio table, and throughput curve must replay exactly.  These
+rules fence off the two classic leaks — wall-clock reads and
+randomness that does not flow through :mod:`repro.rngutil` seeded
+streams — inside the packages whose code runs under the event loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+)
+
+__all__ = ["WallClockRule", "StdlibRandomRule", "NumpySingletonRule"]
+
+#: ``module.function`` suffixes that read the host wall clock.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: Bare names that become wall-clock reads via ``from time import ...``.
+_WALL_CLOCK_FROM = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns", "process_time"},
+    "datetime": {"datetime", "date"},
+}
+
+#: Legacy ``numpy.random`` singleton functions (global hidden state).
+_NP_LEGACY = frozenset(
+    {
+        "seed", "random", "rand", "randn", "randint", "random_sample",
+        "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+        "normal", "standard_normal", "exponential", "poisson", "binomial",
+        "beta", "gamma", "get_state", "set_state",
+    }
+)
+
+
+def _call_suffixes(dotted: str) -> set[str]:
+    """All ``tail`` joins of a dotted call: ``a.b.c`` -> {a.b.c, b.c, c}."""
+    parts = dotted.split(".")
+    return {".".join(parts[i:]) for i in range(len(parts))}
+
+
+class WallClockRule(Rule):
+    id = "DET001"
+    summary = "wall-clock read inside simulation-critical code"
+    rationale = (
+        "time.time()/monotonic()/datetime.now() make results depend on "
+        "host speed and run order; simulated time must come from "
+        "Simulator.now.  Watchdog deadline checks are the one sanctioned "
+        "use — suppress those lines with a justification."
+    )
+    scoped = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from_aliases: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in _WALL_CLOCK_FROM:
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_FROM[node.module]:
+                        from_aliases[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            resolved = from_aliases.get(dotted, dotted)
+            hits = _call_suffixes(resolved) & _WALL_CLOCK
+            if hits:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"wall-clock call {resolved}() in simulation-critical "
+                    f"code; use the simulator clock (sim.now) — or suppress "
+                    f"with a justification if this is a watchdog deadline",
+                )
+
+
+class StdlibRandomRule(Rule):
+    id = "DET002"
+    summary = "stdlib random/secrets import in simulation-critical code"
+    rationale = (
+        "random.* draws from an unseeded (or globally shared) PRNG; one "
+        "stray call desynchronizes every downstream stream.  All "
+        "randomness must flow through repro.rngutil SeedSequence streams."
+    )
+    scoped = True
+
+    _MODULES = frozenset({"random", "secrets"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._MODULES:
+                        yield ctx.finding(
+                            node,
+                            self.id,
+                            f"import of {alias.name!r}: route randomness "
+                            f"through repro.rngutil seeded streams instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in self._MODULES and node.level == 0:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"import from {node.module!r}: route randomness "
+                        f"through repro.rngutil seeded streams instead",
+                    )
+
+
+class NumpySingletonRule(Rule):
+    id = "DET003"
+    summary = "numpy global-RNG singleton (or unseeded default_rng())"
+    rationale = (
+        "np.random.seed()/np.random.rand() share one hidden global "
+        "generator across every component, and default_rng() without a "
+        "seed is entropy-seeded; both break replay.  Derive Generators "
+        "with rngutil.spawn_streams / stream_for."
+    )
+    scoped = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if dotted == "default_rng" and not (node.args or node.keywords):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "default_rng() without a seed is entropy-seeded and "
+                    "unreproducible; pass a SeedSequence/seed from "
+                    "repro.rngutil",
+                )
+            elif (
+                len(parts) >= 3
+                and parts[-2] == "random"
+                and parts[-3] in {"np", "numpy"}
+            ):
+                if parts[-1] in _NP_LEGACY:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"legacy numpy singleton {dotted}(): hidden global "
+                        f"state; use a seeded Generator from repro.rngutil",
+                    )
+                elif parts[-1] == "default_rng" and not (
+                    node.args or node.keywords
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "default_rng() without a seed is entropy-seeded and "
+                        "unreproducible; pass a SeedSequence/seed from "
+                        "repro.rngutil",
+                    )

@@ -1,0 +1,293 @@
+"""ORD — unordered-container iteration rules.
+
+Python ``set`` iteration order depends on element hashes and insertion
+history (and, for strings, on ``PYTHONHASHSEED``).  When such an order
+reaches the event queue (probe fan-out, abort victim selection) or a
+float accumulation, two runs of the "same" seed can diverge.  The fix
+is always the same and cheap at simulation scale: iterate
+``sorted(the_set)``.
+
+Detection is conservative: a ``for``/comprehension iterable (or a
+``sum(...)`` argument) is flagged only when it is *provably* a set —
+a set literal/comprehension, a ``set()``/``frozenset()`` call, a set
+operator on one of those, a local name assigned from one, or a call to
+a function in the same file whose return annotation is a set type.
+Membership tests, ``len``, ``min``/``max`` and ``sorted`` over sets are
+all order-insensitive and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.rules.base import FileContext, Finding, Rule, dotted_name
+
+__all__ = ["SetIterationRule", "SetPopRule"]
+
+_SET_ANNOTATION = re.compile(
+    r"^(typing\.)?(AbstractSet|FrozenSet|MutableSet|Set|frozenset|set)\b"
+)
+
+#: set methods that return another set
+_SET_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference", "copy"}
+)
+
+#: calls that launder a set's order into a sequence without fixing it
+_ORDER_PRESERVING_WRAPPERS = frozenset({"list", "tuple", "iter", "reversed"})
+
+
+def _annotation_is_set(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    try:
+        text = ast.unparse(node)
+    except (ValueError, RecursionError):  # pragma: no cover - malformed
+        return False
+    return bool(_SET_ANNOTATION.match(text.strip()))
+
+
+def _set_returning_functions(tree: ast.Module) -> set[str]:
+    """Names of functions/methods in this file annotated ``-> set[...]``."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _annotation_is_set(node.returns):
+                out.add(node.name)
+    return out
+
+
+class _Scope:
+    """Set-typed local names within one function (or the module body)."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+
+class _SetExprClassifier:
+    def __init__(self, set_fns: set[str]) -> None:
+        self.set_fns = set_fns
+
+    def is_set(self, node: ast.AST, scope: _Scope) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in scope.set_names
+        if isinstance(node, ast.IfExp):
+            return self.is_set(node.body, scope) or self.is_set(
+                node.orelse, scope
+            )
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(node.left, scope) or self.is_set(
+                node.right, scope
+            )
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted in {"set", "frozenset"}:
+                return True
+            if dotted is not None:
+                last = dotted.rsplit(".", 1)[-1]
+                # a.holders() where `def holders() -> set[int]` in file
+                if last in self.set_fns:
+                    return True
+                # s.union(...) etc on a known set
+                if last in _SET_METHODS and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    return self.is_set(node.func.value, scope)
+                # list(s) / tuple(s): reorders nothing, still unordered
+                if last in _ORDER_PRESERVING_WRAPPERS and node.args:
+                    return self.is_set(node.args[0], scope)
+        return False
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Walks one scope body, tracking set-typed locals in statement
+    order and reporting unordered iteration/pop sites."""
+
+    def __init__(
+        self,
+        rule: "SetIterationRule | SetPopRule",
+        ctx: FileContext,
+        classify: _SetExprClassifier,
+        findings: list[Finding],
+    ) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.classify = classify
+        self.findings = findings
+        self.scope = _Scope()
+
+    # -- nested scopes get their own walker --------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._walk_new_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._walk_new_scope(node)
+
+    def _walk_new_scope(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        walker = _FunctionWalker(
+            self.rule, self.ctx, self.classify, self.findings
+        )
+        for arg in (
+            list(node.args.posonlyargs)
+            + list(node.args.args)
+            + list(node.args.kwonlyargs)
+        ):
+            if _annotation_is_set(arg.annotation):
+                walker.scope.set_names.add(arg.arg)
+        for stmt in node.body:
+            walker.visit(stmt)
+
+    # -- assignments update the scope's type map ---------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self.classify.is_set(node.value, self.scope)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self.scope.set_names.add(target.id)
+                else:
+                    self.scope.set_names.discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            if _annotation_is_set(node.annotation) or (
+                node.value is not None
+                and self.classify.is_set(node.value, self.scope)
+            ):
+                self.scope.set_names.add(node.target.id)
+            else:
+                self.scope.set_names.discard(node.target.id)
+        self.generic_visit(node)
+
+    # -- delegation to the concrete rule -----------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self.rule.on_for(self, node)
+        self.generic_visit(node)
+
+    def visit_comprehension_iters(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", []):
+            self.rule.on_comprehension(self, gen)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_iters(node)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.visit_comprehension_iters(node)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_iters(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_iters(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.rule.on_call(self, node)
+        self.generic_visit(node)
+
+
+class SetIterationRule(Rule):
+    id = "ORD001"
+    summary = "iteration over an unordered set"
+    rationale = (
+        "set iteration order depends on hashes and insertion history; "
+        "when it reaches event scheduling or float accumulation it "
+        "breaks seeded replay.  Iterate sorted(the_set) instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        classify = _SetExprClassifier(_set_returning_functions(ctx.tree))
+        walker = _FunctionWalker(self, ctx, classify, findings)
+        for stmt in ctx.tree.body:
+            walker.visit(stmt)
+        yield from findings
+
+    # -- hooks -------------------------------------------------------------
+    def on_for(self, walker: _FunctionWalker, node: ast.For) -> None:
+        if walker.classify.is_set(node.iter, walker.scope):
+            walker.findings.append(
+                walker.ctx.finding(
+                    node.iter,
+                    self.id,
+                    "iteration over a set has no deterministic order; "
+                    "use sorted(...) so scheduling and accumulation "
+                    "order are seed-stable",
+                )
+            )
+
+    def on_comprehension(
+        self, walker: _FunctionWalker, gen: ast.comprehension
+    ) -> None:
+        if walker.classify.is_set(gen.iter, walker.scope):
+            walker.findings.append(
+                walker.ctx.finding(
+                    gen.iter,
+                    self.id,
+                    "comprehension over a set has no deterministic order; "
+                    "use sorted(...)",
+                )
+            )
+
+    def on_call(self, walker: _FunctionWalker, node: ast.Call) -> None:
+        # sum() over a set of floats accumulates in hash order
+        if (
+            dotted_name(node.func) == "sum"
+            and node.args
+            and walker.classify.is_set(node.args[0], walker.scope)
+        ):
+            walker.findings.append(
+                walker.ctx.finding(
+                    node,
+                    self.id,
+                    "sum() over a set accumulates in hash order (float "
+                    "rounding becomes order-dependent); sum(sorted(...))",
+                )
+            )
+
+
+class SetPopRule(SetIterationRule):
+    id = "ORD002"
+    summary = "set.pop() removes a hash-order-dependent element"
+    rationale = (
+        "set.pop() takes an arbitrary element — which one depends on "
+        "the hash table layout.  Pop from a sorted list or use "
+        "min()/max() + discard()."
+    )
+
+    def on_for(self, walker: _FunctionWalker, node: ast.For) -> None:
+        return
+
+    def on_comprehension(
+        self, walker: _FunctionWalker, gen: ast.comprehension
+    ) -> None:
+        return
+
+    def on_call(self, walker: _FunctionWalker, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "pop"
+            and not node.args
+            and not node.keywords
+            and walker.classify.is_set(func.value, walker.scope)
+        ):
+            walker.findings.append(
+                walker.ctx.finding(
+                    node,
+                    self.id,
+                    "set.pop() removes an arbitrary (hash-order) element; "
+                    "use min()/max() + discard() for a deterministic pick",
+                )
+            )

@@ -7,6 +7,10 @@ Examples::
     python -m repro all --quick
     python -m repro fig3_stack --seed 7 --out results/
     python -m repro all --quick --keep-going --timeout 120 --resume
+    python -m repro lint --list-rules
+
+``lint`` dispatches to :mod:`repro.analysis.cli` — the simlint
+determinism & contract linter (docs/STATIC_ANALYSIS.md).
 
 Resilience (docs/ROBUSTNESS.md):
 
@@ -169,6 +173,14 @@ def _save_checkpoint(
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # the determinism & contract linter is its own subcommand with
+        # its own parser; see repro.analysis.cli and docs/STATIC_ANALYSIS.md
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for exp_id, title in sorted(EXPERIMENTS.items()):

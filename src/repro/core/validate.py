@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.model import ConflictModel
+from repro.errors import ExperimentTimeoutError
 from repro.core.policy import DelayPolicy
 from repro.core.verify import competitive_ratio
 from repro.rngutil import ensure_rng
@@ -177,6 +178,8 @@ def validate_policy(
                     f"numeric={result.ratio:.4f} claimed={claimed:.4f}",
                 )
             )
+    except ExperimentTimeoutError:
+        raise  # the watchdog budget always propagates (never a "check")
     except Exception as exc:  # pragma: no cover - diagnostic path
         add(CheckResult("competitive ratio computable", False, repr(exc)))
 

@@ -177,7 +177,9 @@ class Machine:
         if wall_timeout is not None:
             import time
 
-            deadline = time.monotonic() + wall_timeout
+            # watchdog deadline only — wall time never reaches simulated
+            # time or any scheduling decision
+            deadline = time.monotonic() + wall_timeout  # simlint: disable=DET001 -- watchdog wall-clock budget
         self.draining = False
         for core in self.cores:
             core.start()
@@ -247,7 +249,9 @@ class Machine:
         frontier = [holder]
         while frontier:
             node = frontier.pop()
-            for waiter in self._waiters_of(node):
+            # sorted: set order is hash-dependent, and the traversal
+            # order here decides abort victims -> event schedule
+            for waiter in sorted(self._waiters_of(node)):
                 if waiter not in seen and waiter != holder:
                     seen.add(waiter)
                     frontier.append(waiter)
@@ -262,7 +266,7 @@ class Machine:
         :meth:`queued_behind`.
         """
         waiters = self.transitive_waiters(holder)
-        queued = sum(self.queued_behind(w) for w in waiters)
+        queued = sum(self.queued_behind(w) for w in sorted(waiters))
         return 1 + len(waiters) + queued
 
     def queued_behind(self, core: int) -> int:
@@ -295,7 +299,9 @@ class Machine:
         visited: set[int] = set()
         while stack:
             node, path = stack.pop()
-            for holder in self._holders_of(node):
+            # sorted: which cycle is found first (and therefore which
+            # cores abort) must not depend on set hash order
+            for holder in sorted(self._holders_of(node)):
                 if holder == start:
                     return path
                 if holder not in visited:

@@ -243,7 +243,7 @@ class Simulator:
                 if (
                     wall_deadline is not None
                     and fired % self.WATCHDOG_EVERY == 0
-                    and time.monotonic() >= wall_deadline
+                    and time.monotonic() >= wall_deadline  # simlint: disable=DET001 -- watchdog wall-clock budget
                 ):
                     raise ExperimentTimeoutError(
                         f"simulation exceeded its wall-clock budget at "

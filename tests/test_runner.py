@@ -147,6 +147,36 @@ class TestRetries:
         with pytest.raises(ExperimentError):
             run_experiment(exp_id, retries=-1)
 
+    def test_engine_raised_timeout_never_retried(self, scratch):
+        """The watchdog contract (simlint ERR rules): a timeout raised
+        from *inside* the experiment — the engine deadline path, which
+        does not involve SIGALRM — must propagate on the first attempt,
+        never entering the retry loop."""
+        calls = []
+
+        def deadline(**kw):
+            calls.append(1)
+            raise ExperimentTimeoutError("engine wall-clock deadline")
+
+        exp_id = scratch("zz_engine_to", deadline)
+        with pytest.raises(ExperimentTimeoutError):
+            run_experiment(exp_id, retries=5, retry_backoff=0.001)
+        assert len(calls) == 1
+
+    def test_keyboard_interrupt_propagates_unretried(self, scratch):
+        """Ctrl-C is never swallowed or retried by the runner: the
+        retry loop catches SimulationError only."""
+        calls = []
+
+        def interrupted(**kw):
+            calls.append(1)
+            raise KeyboardInterrupt
+
+        exp_id = scratch("zz_intr", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(exp_id, retries=5, retry_backoff=0.001)
+        assert len(calls) == 1
+
 
 class TestCli:
     def test_keep_going_collects_failures(self, scratch, capsys):
