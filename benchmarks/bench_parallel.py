@@ -1,0 +1,116 @@
+"""Serial vs parallel experiment execution, wall clock on the record.
+
+Unlike the pytest-benchmark files next to it, this is a standalone
+harness (``python benchmarks/bench_parallel.py``): it runs the same
+experiment batch through the serial path and through
+:class:`repro.parallel.ParallelExecutor`, checks the rows came out
+identical (the determinism contract the parallel layer guarantees),
+and writes the measurement to ``BENCH_parallel.json`` at the repo
+root — machine speedup claims belong in version control next to the
+code that produced them.
+
+Speedup scales with physical cores; on a single-core runner it
+honestly records ~1x (process startup is pure overhead there), which
+is why ``cpu_count`` is part of the payload.  The cache is left off on
+both sides so both paths do the full computation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import sys
+import time
+
+from repro.experiments import run_experiment
+from repro.parallel import ParallelExecutor
+
+#: Seed used by every benchmark so tables are identical run-to-run.
+BENCH_SEED = 2018
+
+#: The batch: Monte-Carlo heavy experiments that shard well.
+DEFAULT_EXPERIMENTS = ("fig2a", "fig2b", "fig2c", "ext_regimes")
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _rows_of(results) -> list:
+    return [r.rows for r in results]
+
+
+def run_bench(
+    *,
+    jobs: int,
+    trials: int,
+    experiments: tuple[str, ...] = DEFAULT_EXPERIMENTS,
+) -> dict[str, object]:
+    """Time the batch serially and at ``--jobs``; return the payload."""
+    overrides = {"trials": trials}
+
+    start = time.perf_counter()
+    serial = [
+        run_experiment(exp_id, quick=True, seed=BENCH_SEED, **overrides)
+        for exp_id in experiments
+    ]
+    serial_s = time.perf_counter() - start
+
+    executor = ParallelExecutor(
+        jobs, quick=True, seed=BENCH_SEED, overrides=overrides
+    )
+    start = time.perf_counter()
+    outcomes = executor.run(list(experiments))
+    parallel_s = time.perf_counter() - start
+    failed = [o.exp_id for o in outcomes if not o.ok]
+    if failed:
+        raise RuntimeError(f"parallel run failed for: {', '.join(failed)}")
+
+    return {
+        "experiments": list(experiments),
+        "quick": True,
+        "seed": BENCH_SEED,
+        "trials": trials,
+        "jobs": jobs,
+        "cpu_count": multiprocessing.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "rows_identical": _rows_of(serial)
+        == _rows_of([o.result for o in outcomes]),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, multiprocessing.cpu_count()),
+        help="worker processes for the parallel side (default: min(4, cores))",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=2_000_000,
+        help="Monte-Carlo trials per experiment (quick-mode override)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=_REPO_ROOT / "BENCH_parallel.json",
+        help="where to write the measurement (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_bench(jobs=args.jobs, trials=args.trials)
+    payload["generated_by"] = "benchmarks/bench_parallel.py"
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if not payload["rows_identical"]:
+        print("ERROR: serial and parallel rows differ", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from repro.analysis.rules.det import (
     NumpySingletonRule,
     StdlibRandomRule,
     WallClockRule,
+    WorkerSeedRule,
 )
 from repro.analysis.rules.errors import (
     BareExceptRule,
@@ -61,6 +62,7 @@ ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
     StdlibRandomRule(),
     NumpySingletonRule(),
+    WorkerSeedRule(),
     SetIterationRule(),
     SetPopRule(),
     BareExceptRule(),

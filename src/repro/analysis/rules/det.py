@@ -10,6 +10,7 @@ streams — inside the packages whose code runs under the event loop.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from repro.analysis.rules.base import (
@@ -19,7 +20,12 @@ from repro.analysis.rules.base import (
     dotted_name,
 )
 
-__all__ = ["WallClockRule", "StdlibRandomRule", "NumpySingletonRule"]
+__all__ = [
+    "WallClockRule",
+    "StdlibRandomRule",
+    "NumpySingletonRule",
+    "WorkerSeedRule",
+]
 
 #: ``module.function`` suffixes that read the host wall clock.
 _WALL_CLOCK = frozenset(
@@ -183,4 +189,82 @@ class NumpySingletonRule(Rule):
                         "default_rng() without a seed is entropy-seeded and "
                         "unreproducible; pass a SeedSequence/seed from "
                         "repro.rngutil",
+                    )
+
+
+class WorkerSeedRule(Rule):
+    id = "DET004"
+    summary = "worker/shard entry function without an explicit seed argument"
+    rationale = (
+        "Functions that run in pool workers are the parallelism seam: if "
+        "their randomness is not an *argument* (rng/seed/stream/seedseq), "
+        "the stream they draw from depends on which process executed them, "
+        "and rows stop being invariant to --jobs.  Worker entry functions "
+        "must take their stream (or the seed it derives from) explicitly, "
+        "and must never build an unseeded or global-singleton generator."
+    )
+    #: applies everywhere — worker functions live in experiments/,
+    #: synthetic/ and parallel/, outside the DET001-003 scope dirs.
+    scoped = False
+
+    #: a function is a worker entry if a name segment is worker(s)/shard(s).
+    _WORKER_NAME = re.compile(r"(^|_)(worker|shard)s?(_|$)")
+    #: a parameter carries the stream if its name mentions any of these.
+    _SEED_PARAM = re.compile(r"rng|seed|stream", re.IGNORECASE)
+
+    @staticmethod
+    def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+        args = node.args
+        params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        for star in (args.vararg, args.kwarg):
+            if star is not None:
+                params.append(star.arg)
+        return params
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._WORKER_NAME.search(node.name):
+                continue
+            if not any(
+                self._SEED_PARAM.search(p) for p in self._param_names(node)
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"worker function {node.name!r} takes no rng/seed/stream "
+                    f"parameter; a worker's randomness must arrive as an "
+                    f"argument so its rows do not depend on execution "
+                    f"placement (--jobs)",
+                )
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                dotted = dotted_name(sub.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if parts[-1] == "default_rng" and not (
+                    sub.args or sub.keywords
+                ):
+                    yield ctx.finding(
+                        sub,
+                        self.id,
+                        f"unseeded default_rng() inside worker "
+                        f"{node.name!r}: derive the generator from the "
+                        f"worker's seed/stream argument",
+                    )
+                elif (
+                    len(parts) >= 3
+                    and parts[-2] == "random"
+                    and parts[-3] in {"np", "numpy"}
+                    and parts[-1] in _NP_LEGACY
+                ):
+                    yield ctx.finding(
+                        sub,
+                        self.id,
+                        f"numpy global-RNG singleton {dotted}() inside "
+                        f"worker {node.name!r}: workers must draw only from "
+                        f"their seed/stream argument",
                     )

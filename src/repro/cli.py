@@ -7,14 +7,30 @@ Examples::
     python -m repro all --quick
     python -m repro fig3_stack --seed 7 --out results/
     python -m repro all --quick --keep-going --timeout 120 --resume
+    python -m repro all --quick --jobs 4
+    python -m repro fig3_stack --jobs 8          # intra-experiment shards
+    python -m repro all --no-cache --cache-dir /tmp/repro-cache
     python -m repro lint --list-rules
 
 ``lint`` dispatches to :mod:`repro.analysis.cli` — the simlint
 determinism & contract linter (docs/STATIC_ANALYSIS.md).
 
+Parallelism & caching (docs/PERFORMANCE.md):
+
+* ``--jobs N`` with several experiments fans them out to worker
+  processes (ordered reporting, single-writer checkpointing,
+  process-level timeout kills); with a single experiment it hands the
+  runner a shard pool for intra-experiment fan-out.  Rows are
+  invariant to ``--jobs`` — only wall clock changes.
+* Results are cached content-addressed under ``--cache-dir``
+  (default ``.repro-cache``, or ``$REPRO_CACHE_DIR``); any source
+  change invalidates every entry.  ``--no-cache`` (or
+  ``$REPRO_NO_CACHE=1``) disables both lookup and store.
+
 Resilience (docs/ROBUSTNESS.md):
 
-* ``--timeout`` arms a per-experiment wall-clock watchdog.
+* ``--timeout`` arms a per-experiment wall-clock watchdog; under
+  ``--jobs`` the parent also kills overdue worker processes.
 * ``--retries`` re-runs an experiment that died with a transient
   :class:`~repro.errors.SimulationError` (timeouts are never retried).
 * ``--keep-going`` records failures and keeps running; the run exits
@@ -29,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -46,6 +63,9 @@ __all__ = ["main", "build_parser"]
 #: Default checkpoint location when ``--resume`` is given without an
 #: explicit ``--checkpoint`` (and no ``--out`` directory to put it in).
 DEFAULT_CHECKPOINT = pathlib.Path(".repro-checkpoint.json")
+
+#: Default result-cache location (overridable via ``$REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +91,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes: several experiments fan out one-per-"
+        "worker; a single experiment gets an intra-experiment shard "
+        "pool.  Rows are identical at any --jobs (deterministic "
+        "sharding)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=not os.environ.get("REPRO_NO_CACHE"),
+        help="reuse content-addressed cached rows when nothing they "
+        "depend on changed (--no-cache disables; also "
+        "$REPRO_NO_CACHE=1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=pathlib.Path(
+            os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        ),
+        metavar="PATH",
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR}, or "
+        "$REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
         "--out",
         type=pathlib.Path,
         default=None,
@@ -88,7 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="wall-clock watchdog per experiment; a run past the budget "
-        "is killed with ExperimentTimeoutError",
+        "is killed with ExperimentTimeoutError (with --jobs, the parent "
+        "kills the worker process itself if the in-worker alarm fails)",
     )
     parser.add_argument(
         "--retries",
@@ -172,6 +221,108 @@ def _save_checkpoint(
     tmp.replace(path)  # atomic: a mid-write kill never corrupts it
 
 
+def _emit_result(args: argparse.Namespace, result, elapsed: float) -> None:
+    """Print one completed experiment and write its --out artifacts."""
+    text = render_result(result)
+    print(text)
+    suffix = " (cache hit)" if result.cached else ""
+    print(f"[{result.exp_id} completed in {elapsed:.1f}s{suffix}]\n")
+    if args.out is not None:
+        (args.out / f"{result.exp_id}.txt").write_text(text + "\n")
+        if args.json:
+            payload = {
+                "exp_id": result.exp_id,
+                "title": result.title,
+                "params": {k: repr(v) for k, v in result.params.items()},
+                "rows": result.rows,
+                "notes": result.notes,
+            }
+            (args.out / f"{result.exp_id}.json").write_text(
+                json.dumps(payload, indent=2, default=str) + "\n"
+            )
+
+
+def _run_parallel(
+    args: argparse.Namespace,
+    ids: list[str],
+    cache,
+    ckpt_path: pathlib.Path | None,
+    done: dict[str, dict],
+    failures: list[dict[str, object]],
+) -> None:
+    """Fan ``ids`` out over worker processes.
+
+    The parent stays the only checkpoint writer: per-experiment
+    ``done`` entries land in completion order (atomic tmp-rename), while
+    results are *emitted* in submission order so the report reads like
+    the serial run.
+    """
+    from repro.parallel import ParallelExecutor
+
+    executor = ParallelExecutor(
+        args.jobs,
+        quick=args.quick,
+        seed=args.seed,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=str(args.cache_dir) if cache is not None else None,
+        fingerprint=cache.fingerprint if cache is not None else None,
+    )
+    buffered: dict[str, object] = {}
+    emit_order = list(ids)
+
+    def flush() -> None:
+        while emit_order and emit_order[0] in buffered:
+            outcome = buffered.pop(emit_order.pop(0))
+            if outcome.ok:
+                _emit_result(args, outcome.result, outcome.elapsed_s)
+            elif outcome.status == "failed":
+                print(
+                    f"[{outcome.exp_id} FAILED after {outcome.elapsed_s:.1f}s:"
+                    f" {outcome.error_type}: {outcome.error}]\n",
+                    file=sys.stderr,
+                )
+
+    def on_complete(outcome) -> None:
+        # completion order: checkpoint first, so a kill right here loses
+        # at most the in-flight experiments, never a finished one
+        if outcome.ok:
+            done[outcome.exp_id] = {
+                "status": "ok",
+                "elapsed_s": round(outcome.elapsed_s, 2),
+            }
+        else:
+            failures.append(
+                {
+                    "exp_id": outcome.exp_id,
+                    "error_type": outcome.error_type,
+                    "error": outcome.error,
+                }
+            )
+            done[outcome.exp_id] = {
+                "status": "failed",
+                "elapsed_s": round(outcome.elapsed_s, 2),
+                "error_type": outcome.error_type,
+                "error": outcome.error,
+            }
+        if ckpt_path is not None:
+            _save_checkpoint(ckpt_path, done, quick=args.quick, seed=args.seed)
+        buffered[outcome.exp_id] = outcome
+        flush()
+
+    outcomes = executor.run(
+        ids, on_complete=on_complete, stop_on_failure=not args.keep_going
+    )
+    flush()
+    skipped = [o.exp_id for o in outcomes if o.status == "skipped"]
+    if skipped:
+        print(
+            f"[{len(skipped)} experiment(s) not started after failure: "
+            f"{', '.join(skipped)}]",
+            file=sys.stderr,
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -186,6 +337,9 @@ def main(argv: list[str] | None = None) -> int:
         for exp_id, title in sorted(EXPERIMENTS.items()):
             print(f"{exp_id:16s} {title}")
         return 0
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     ids = list(args.experiments)
     if ids == ["all"]:
         ids = sorted(EXPERIMENTS)
@@ -197,71 +351,87 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
+    cache = None
+    if args.cache:
+        from repro.parallel import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+
     ckpt_path = _checkpoint_path(args)
     done: dict[str, dict] = {}
     if ckpt_path is not None and args.resume:
         done = _load_checkpoint(ckpt_path, quick=args.quick, seed=args.seed)
 
     failures: list[dict[str, object]] = []
+    run_ids: list[str] = []
     for exp_id in ids:
         if args.resume and done.get(exp_id, {}).get("status") == "ok":
             print(f"[{exp_id} already completed; skipping (--resume)]")
             continue
-        start = time.perf_counter()
-        try:
-            result = run_experiment(
-                exp_id,
-                quick=args.quick,
-                seed=args.seed,
-                timeout=args.timeout,
-                retries=args.retries,
-            )
-        except ReproError as exc:
+        run_ids.append(exp_id)
+
+    if args.jobs > 1 and len(run_ids) > 1:
+        _run_parallel(args, run_ids, cache, ckpt_path, done, failures)
+        if failures:
+            print(render_failures(failures), file=sys.stderr)
+            return 1
+        return 0
+
+    # serial path (also: single experiment with an intra-experiment pool)
+    pool = None
+    if args.jobs > 1 and run_ids:
+        from repro.parallel import make_pool
+
+        pool = make_pool(args.jobs)
+    try:
+        for exp_id in run_ids:
+            start = time.perf_counter()
+            try:
+                result = run_experiment(
+                    exp_id,
+                    quick=args.quick,
+                    seed=args.seed,
+                    timeout=args.timeout,
+                    retries=args.retries,
+                    cache=cache,
+                    pool=pool,
+                )
+            except ReproError as exc:
+                elapsed = time.perf_counter() - start
+                failure = {
+                    "exp_id": exp_id,
+                    "error_type": type(exc).__name__,
+                    "error": str(exc),
+                }
+                failures.append(failure)
+                done[exp_id] = {
+                    "status": "failed",
+                    "elapsed_s": round(elapsed, 2),
+                    **{k: v for k, v in failure.items() if k != "exp_id"},
+                }
+                if ckpt_path is not None:
+                    _save_checkpoint(
+                        ckpt_path, done, quick=args.quick, seed=args.seed
+                    )
+                print(
+                    f"[{exp_id} FAILED after {elapsed:.1f}s: "
+                    f"{type(exc).__name__}: {exc}]\n",
+                    file=sys.stderr,
+                )
+                if not args.keep_going:
+                    print(render_failures(failures), file=sys.stderr)
+                    return 1
+                continue
             elapsed = time.perf_counter() - start
-            failure = {
-                "exp_id": exp_id,
-                "error_type": type(exc).__name__,
-                "error": str(exc),
-            }
-            failures.append(failure)
-            done[exp_id] = {
-                "status": "failed",
-                "elapsed_s": round(elapsed, 2),
-                **{k: v for k, v in failure.items() if k != "exp_id"},
-            }
+            _emit_result(args, result, elapsed)
+            done[exp_id] = {"status": "ok", "elapsed_s": round(elapsed, 2)}
             if ckpt_path is not None:
                 _save_checkpoint(
                     ckpt_path, done, quick=args.quick, seed=args.seed
                 )
-            print(
-                f"[{exp_id} FAILED after {elapsed:.1f}s: "
-                f"{type(exc).__name__}: {exc}]\n",
-                file=sys.stderr,
-            )
-            if not args.keep_going:
-                print(render_failures(failures), file=sys.stderr)
-                return 1
-            continue
-        text = render_result(result)
-        elapsed = time.perf_counter() - start
-        print(text)
-        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
-        if args.out is not None:
-            (args.out / f"{exp_id}.txt").write_text(text + "\n")
-            if args.json:
-                payload = {
-                    "exp_id": result.exp_id,
-                    "title": result.title,
-                    "params": {k: repr(v) for k, v in result.params.items()},
-                    "rows": result.rows,
-                    "notes": result.notes,
-                }
-                (args.out / f"{exp_id}.json").write_text(
-                    json.dumps(payload, indent=2, default=str) + "\n"
-                )
-        done[exp_id] = {"status": "ok", "elapsed_s": round(elapsed, 2)}
-        if ckpt_path is not None:
-            _save_checkpoint(ckpt_path, done, quick=args.quick, seed=args.seed)
+    finally:
+        if pool is not None:
+            pool.close()
     if failures:
         print(render_failures(failures), file=sys.stderr)
         return 1

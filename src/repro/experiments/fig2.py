@@ -19,7 +19,7 @@ from repro.distributions import (
     UniformLengths,
     WorstCaseForDeterministic,
 )
-from repro.rngutil import stream_for
+from repro.rngutil import seedseq_for, stream_for
 from repro.synthetic import SyntheticHarness
 
 __all__ = ["run_fig2a", "run_fig2b", "run_fig2c", "FIG2_DISTRIBUTIONS"]
@@ -39,12 +39,36 @@ def _distributions(mu: float):
 
 
 def _run_cost_grid(
-    exp_id: str, B: float, mu: float, trials: int, seed: int | None
+    exp_id: str,
+    B: float,
+    mu: float,
+    trials: int,
+    seed: int | None,
+    n_shards: int = 1,
+    pool=None,
 ) -> list[dict[str, object]]:
+    """Monte-Carlo grid over the five distributions.
+
+    ``n_shards`` fixes the trial-shard count (part of the result's
+    identity: rows are bit-identical for a fixed ``(seed, n_shards)``
+    and invariant to ``pool`` / ``--jobs``); ``pool`` only decides
+    where the shards execute.  ``n_shards == 1`` reproduces the
+    historical single-stream draws exactly.
+    """
     harness = SyntheticHarness(B, mu)
     rows: list[dict[str, object]] = []
     for dist in _distributions(mu):
-        result = harness.run(dist, trials, stream_for(seed, exp_id, dist.name))
+        result = harness.run(
+            dist,
+            trials,
+            (
+                stream_for(seed, exp_id, dist.name)
+                if n_shards == 1
+                else seedseq_for(seed, exp_id, dist.name)
+            ),
+            n_shards=n_shards,
+            pool=pool,
+        )
         opt = result.mean_cost("OPT")
         for label, acc in result.stats.items():
             rows.append(
@@ -59,17 +83,33 @@ def _run_cost_grid(
     return rows
 
 
-def run_fig2a(trials: int = 200_000, seed: int | None = None):
+def run_fig2a(
+    trials: int = 200_000,
+    seed: int | None = None,
+    n_shards: int = 1,
+    pool=None,
+):
     """Average cost, high fixed cost (B = 2000, µ = 500)."""
-    return _run_cost_grid("fig2a", 2000.0, 500.0, trials, seed)
+    return _run_cost_grid("fig2a", 2000.0, 500.0, trials, seed, n_shards, pool)
 
 
-def run_fig2b(trials: int = 200_000, seed: int | None = None):
+def run_fig2b(
+    trials: int = 200_000,
+    seed: int | None = None,
+    n_shards: int = 1,
+    pool=None,
+):
     """Average cost, low fixed cost (B = 200, µ = 500)."""
-    return _run_cost_grid("fig2b", 200.0, 500.0, trials, seed)
+    return _run_cost_grid("fig2b", 200.0, 500.0, trials, seed, n_shards, pool)
 
 
-def run_fig2c(trials: int = 200_000, seed: int | None = None, B: float = 500.0):
+def run_fig2c(
+    trials: int = 200_000,
+    seed: int | None = None,
+    B: float = 500.0,
+    n_shards: int = 1,
+    pool=None,
+):
     """Average cost when the adversary plays DET's worst case.
 
     The remaining time is drawn directly (the adversary chooses ``D``,
@@ -79,7 +119,17 @@ def run_fig2c(trials: int = 200_000, seed: int | None = None, B: float = 500.0):
     """
     dist = WorstCaseForDeterministic(B, k=2)
     harness = SyntheticHarness(B, dist.mean, interrupt="direct")
-    result = harness.run(dist, trials, stream_for(seed, "fig2c"))
+    result = harness.run(
+        dist,
+        trials,
+        (
+            stream_for(seed, "fig2c")
+            if n_shards == 1
+            else seedseq_for(seed, "fig2c")
+        ),
+        n_shards=n_shards,
+        pool=pool,
+    )
     opt = result.mean_cost("OPT")
     return [
         {

@@ -10,6 +10,7 @@ plus abort statistics for diagnosis.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable
 
 import numpy as _np
@@ -72,6 +73,53 @@ def _policy_factory(name: str, workload: Workload, params: MachineParams):
     raise ValueError(f"unknown Figure 3 policy {name!r}")
 
 
+def _cell_worker(
+    workload_factory: Callable[[], Workload],
+    n: int,
+    policy_name: str,
+    horizon: float,
+    base_seed: int,
+    verify: bool,
+    repeats: int,
+) -> dict[str, object]:
+    """One (threads, policy) sweep cell — the unit of parallel fan-out.
+
+    Module-level so process pools can pickle it; the machine seed comes
+    in via ``base_seed`` (simlint DET004) and depends only on the cell
+    coordinates, so the row is identical wherever the cell executes.
+    """
+    params = MachineParams(n_cores=max(n, 1))
+    tputs: list[float] = []
+    ops_total = 0
+    aborts = 0
+    commits = 0
+    fallbacks = 0
+    for rep in range(repeats):
+        workload = workload_factory()
+        machine = Machine(params, _policy_factory(policy_name, workload, params))
+        machine.load(workload, seed=base_seed + 1009 * n + 7919 * rep)
+        stats = machine.run(horizon)
+        if verify:
+            workload.verify(machine)
+        tputs.append(stats.throughput_ops_per_sec(params.clock_ghz))
+        ops_total += stats.ops_completed
+        aborts += stats.tx_aborted
+        commits += stats.tx_committed
+        fallbacks += stats.total("fallback_ops")
+    arr = _np.asarray(tputs)
+    row: dict[str, object] = {
+        "threads": n,
+        "policy": policy_name,
+        "ops_per_sec": float(arr.mean()),
+        "ops": ops_total // repeats,
+        "abort_rate": aborts / max(commits + aborts, 1),
+        "fallback_ops": fallbacks // repeats,
+    }
+    if repeats > 1:
+        row["sem"] = float(arr.std(ddof=1) / _np.sqrt(repeats))
+    return row
+
+
 def run_fig3(
     workload_factory: Callable[[], Workload],
     *,
@@ -81,6 +129,7 @@ def run_fig3(
     seed: int | None = None,
     verify: bool = True,
     repeats: int = 1,
+    pool=None,
 ) -> list[dict[str, object]]:
     """One Figure 3 panel: sweep threads x policies on a workload.
 
@@ -88,67 +137,50 @@ def run_fig3(
     standard-error column — recommended at high contention, where
     single-seed ordering is noisy (see EXPERIMENTS.md on the bimodal
     panel).
+
+    ``pool`` (an object with ``starmap``, e.g.
+    :class:`repro.parallel.ProcessPool`) fans the sweep cells out over
+    worker processes; every cell is seeded from its own coordinates, so
+    rows are identical with or without a pool.  Pooled runs need a
+    picklable ``workload_factory`` (the built-in panels use
+    ``functools.partial``).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     base_seed = DEFAULT_SEED if seed is None else seed
-    rows: list[dict[str, object]] = []
-    for n in threads:
-        params = MachineParams(n_cores=max(n, 1))
-        for policy_name in policies:
-            tputs: list[float] = []
-            ops_total = 0
-            aborts = 0
-            commits = 0
-            fallbacks = 0
-            for rep in range(repeats):
-                workload = workload_factory()
-                machine = Machine(
-                    params, _policy_factory(policy_name, workload, params)
-                )
-                machine.load(workload, seed=base_seed + 1009 * n + 7919 * rep)
-                stats = machine.run(horizon)
-                if verify:
-                    workload.verify(machine)
-                tputs.append(stats.throughput_ops_per_sec(params.clock_ghz))
-                ops_total += stats.ops_completed
-                aborts += stats.tx_aborted
-                commits += stats.tx_committed
-                fallbacks += stats.total("fallback_ops")
-            arr = _np.asarray(tputs)
-            row: dict[str, object] = {
-                "threads": n,
-                "policy": policy_name,
-                "ops_per_sec": float(arr.mean()),
-                "ops": ops_total // repeats,
-                "abort_rate": aborts / max(commits + aborts, 1),
-                "fallback_ops": fallbacks // repeats,
-            }
-            if repeats > 1:
-                row["sem"] = float(arr.std(ddof=1) / _np.sqrt(repeats))
-            rows.append(row)
-    return rows
+    cells = [
+        (workload_factory, n, policy_name, horizon, base_seed, verify, repeats)
+        for n in threads
+        for policy_name in policies
+    ]
+    if pool is None:
+        return [_cell_worker(*cell) for cell in cells]
+    return pool.starmap(_cell_worker, cells)
 
 
-def run_fig3_stack(**kwargs) -> list[dict[str, object]]:
+def run_fig3_stack(*, pool=None, **kwargs) -> list[dict[str, object]]:
     """Figure 3, stack throughput."""
-    return run_fig3(lambda: StackWorkload(), **kwargs)
+    return run_fig3(StackWorkload, pool=pool, **kwargs)
 
 
-def run_fig3_queue(**kwargs) -> list[dict[str, object]]:
+def run_fig3_queue(*, pool=None, **kwargs) -> list[dict[str, object]]:
     """Figure 3, queue throughput."""
-    return run_fig3(lambda: QueueWorkload(), **kwargs)
+    return run_fig3(QueueWorkload, pool=pool, **kwargs)
 
 
-def run_fig3_txapp(**kwargs) -> list[dict[str, object]]:
+def run_fig3_txapp(*, pool=None, **kwargs) -> list[dict[str, object]]:
     """Figure 3, transactional application (uniform lengths)."""
-    return run_fig3(lambda: TxAppWorkload(work_cycles=100), **kwargs)
+    return run_fig3(
+        functools.partial(TxAppWorkload, work_cycles=100), pool=pool, **kwargs
+    )
 
 
-def run_fig3_bimodal(**kwargs) -> list[dict[str, object]]:
+def run_fig3_bimodal(*, pool=None, **kwargs) -> list[dict[str, object]]:
     """Figure 3, bimodal transactional application."""
     return run_fig3(
-        lambda: TxAppWorkload(work_cycles=100, bimodal=True), **kwargs
+        functools.partial(TxAppWorkload, work_cycles=100, bimodal=True),
+        pool=pool,
+        **kwargs,
     )
 
 
@@ -164,17 +196,19 @@ EXT_POLICIES = (
 )
 
 
-def run_ext_bank(**kwargs) -> list[dict[str, object]]:
+def run_ext_bank(*, pool=None, **kwargs) -> list[dict[str, object]]:
     """Extension panel: bank transfers + audits under every resolution."""
     from repro.workloads import BankWorkload
 
     kwargs.setdefault("policies", EXT_POLICIES)
-    return run_fig3(lambda: BankWorkload(p_audit=0.1), **kwargs)
+    return run_fig3(
+        functools.partial(BankWorkload, p_audit=0.1), pool=pool, **kwargs
+    )
 
 
-def run_ext_listset(**kwargs) -> list[dict[str, object]]:
+def run_ext_listset(*, pool=None, **kwargs) -> list[dict[str, object]]:
     """Extension panel: sorted linked-list set under every resolution."""
     from repro.workloads import ListSetWorkload
 
     kwargs.setdefault("policies", EXT_POLICIES)
-    return run_fig3(lambda: ListSetWorkload(), **kwargs)
+    return run_fig3(ListSetWorkload, pool=pool, **kwargs)

@@ -20,29 +20,48 @@ from repro.synthetic import SyntheticHarness
 __all__ = ["run_ext_regimes"]
 
 
+def _cell_worker(
+    mu: float, ratio: float, trials: int, seed: int | None
+) -> dict[str, object]:
+    """One B/µ point — the unit of parallel fan-out.
+
+    Module-level (picklable) with its seed as an argument (simlint
+    DET004); the cell's stream depends only on ``(seed, ratio)``, so
+    the row is identical wherever it executes.
+    """
+    B = mu * ratio
+    dist = ExponentialLengths(mu)
+    harness = SyntheticHarness(B, mu)
+    result = harness.run(
+        dist, trials, stream_for(seed, "ext_regimes", int(ratio * 100))
+    )
+    normalized = result.normalized()
+    row: dict[str, object] = {"B/mu": ratio}
+    for label in ("DET", "RRW", "RRW(mu)", "RRA", "RRA(mu)"):
+        row[label] = round(normalized[label], 4)
+    row["best"] = min(
+        (label for label in normalized if label != "OPT"),
+        key=lambda lbl: normalized[lbl],
+    )
+    return row
+
+
 def run_ext_regimes(
     *,
     mu: float = 500.0,
     b_over_mu: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
     trials: int = 100_000,
     seed: int | None = None,
+    pool=None,
 ) -> list[dict[str, object]]:
-    """One row per B/µ point with each policy's cost normalized to OPT."""
-    rows: list[dict[str, object]] = []
-    dist = ExponentialLengths(mu)
-    for ratio in b_over_mu:
-        B = mu * ratio
-        harness = SyntheticHarness(B, mu)
-        result = harness.run(
-            dist, trials, stream_for(seed, "ext_regimes", int(ratio * 100))
-        )
-        normalized = result.normalized()
-        row: dict[str, object] = {"B/mu": ratio}
-        for label in ("DET", "RRW", "RRW(mu)", "RRA", "RRA(mu)"):
-            row[label] = round(normalized[label], 4)
-        row["best"] = min(
-            (label for label in normalized if label != "OPT"),
-            key=lambda lbl: normalized[lbl],
-        )
-        rows.append(row)
-    return rows
+    """One row per B/µ point with each policy's cost normalized to OPT.
+
+    ``pool`` (an object with ``starmap``, e.g.
+    :class:`repro.parallel.ProcessPool`) fans the sweep cells out over
+    worker processes; each cell's stream is derived from its own
+    coordinates, so rows are identical with or without a pool.
+    """
+    cells = [(mu, ratio, trials, seed) for ratio in b_over_mu]
+    if pool is None:
+        return [_cell_worker(*cell) for cell in cells]
+    return pool.starmap(_cell_worker, cells)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import contextlib
 import inspect
+import logging
 import signal
 import threading
 import time
@@ -50,15 +51,25 @@ __all__ = [
 ]
 
 
+logger = logging.getLogger(__name__)
+
+
 @dataclass
 class ExperimentResult:
-    """Rows + metadata for one experiment run."""
+    """Rows + metadata for one experiment run.
+
+    ``cached`` marks a result whose rows were served from a
+    :class:`repro.parallel.ResultCache` instead of being recomputed;
+    everything else (title, params, notes) is always rebuilt from the
+    live registry, so cached and fresh results render identically.
+    """
 
     exp_id: str
     title: str
     rows: list[dict[str, object]]
     params: dict[str, object] = field(default_factory=dict)
     notes: str = ""
+    cached: bool = False
 
 
 @dataclass(frozen=True)
@@ -71,10 +82,13 @@ class _Spec:
 
 
 _SPECS: dict[str, _Spec] = {
+    # full-mode Monte-Carlo grids fix n_shards=8: the shard count is part
+    # of the result's identity (same rows at any --jobs), while the pool
+    # the CLI passes decides only where the shards execute
     "fig2a": _Spec(
         "Fig 2a: average conflict cost, high fixed cost (B=2000, mu=500)",
         fig2.run_fig2a,
-        dict(trials=200_000),
+        dict(trials=200_000, n_shards=8),
         dict(trials=20_000),
         "paper: DET near OPT; RRW(mu)/RRA(mu) beat RRW/RRA; "
         "RRW ~ 2x OPT, RRA ~ e/(e-1) x OPT",
@@ -82,14 +96,14 @@ _SPECS: dict[str, _Spec] = {
     "fig2b": _Spec(
         "Fig 2b: average conflict cost, low fixed cost (B=200, mu=500)",
         fig2.run_fig2b,
-        dict(trials=200_000),
+        dict(trials=200_000, n_shards=8),
         dict(trials=20_000),
         "paper: DET notably worse; constrained ~ unconstrained; RA beats RW",
     ),
     "fig2c": _Spec(
         "Fig 2c: worst-case distribution for DET",
         fig2.run_fig2c,
-        dict(trials=200_000),
+        dict(trials=200_000, n_shards=8),
         dict(trials=20_000),
         "paper: DET ~ 3x OPT; randomized policies stay near their ratios",
     ),
@@ -312,8 +326,11 @@ def _watchdog(seconds: float | None, exp_id: str):
     Uses ``SIGALRM`` so even loops that never re-enter the simulation
     kernel get interrupted.  Signals only work on the main thread;
     elsewhere the engine-level deadline (``Machine.run(wall_timeout)``)
-    remains the only enforcement, so we degrade to a no-op rather than
-    refusing to run.
+    remains the only enforcement, so we degrade to a warning rather
+    than refusing to run — run experiments through
+    ``repro.parallel.ParallelExecutor`` (or the CLI's ``--jobs``) when
+    hard enforcement matters: its workers run on their own main
+    threads *and* the parent kills overdue worker processes outright.
     """
     if seconds is None or seconds <= 0:
         yield
@@ -321,7 +338,15 @@ def _watchdog(seconds: float | None, exp_id: str):
     if (
         threading.current_thread() is not threading.main_thread()
         or not hasattr(signal, "SIGALRM")
-    ):  # pragma: no cover - platform/thread dependent
+    ):
+        logger.warning(
+            "experiment %r: timeout=%gs requested off the main thread; "
+            "the SIGALRM watchdog cannot arm here and only engine-level "
+            "deadlines apply — use repro.parallel.ParallelExecutor for "
+            "process-level enforcement",
+            exp_id,
+            seconds,
+        )
         yield
         return
 
@@ -340,6 +365,12 @@ def _watchdog(seconds: float | None, exp_id: str):
         signal.signal(signal.SIGALRM, previous)
 
 
+#: Runtime-only arguments: forwarded to runners that accept them but
+#: excluded from result params and cache keys — they say *where* work
+#: executes, never *what* is computed.
+_RUNTIME_ONLY = ("pool", "cache")
+
+
 def run_experiment(
     exp_id: str,
     *,
@@ -348,6 +379,8 @@ def run_experiment(
     timeout: float | None = None,
     retries: int = 0,
     retry_backoff: float = 0.05,
+    cache=None,
+    pool=None,
     **overrides,
 ) -> ExperimentResult:
     """Run one experiment by id.
@@ -360,6 +393,15 @@ def run_experiment(
     :class:`~repro.errors.SimulationError` — the failure mode injected
     faults produce.  Timeouts, bad parameters, and unknown ids are
     never retried.
+
+    ``cache`` (a :class:`repro.parallel.ResultCache`) short-circuits
+    the run when an entry for this exact invocation exists, and stores
+    the rows afterwards otherwise; failures are never cached.  ``pool``
+    (a :class:`repro.parallel.ShardPool`) is handed to runners that
+    support intra-experiment fan-out (trial shards, sweep cells).
+    Neither changes the rows — caching replays them, pooling only
+    relocates the computation — and neither appears in the result's
+    ``params`` or the cache key.
     """
     spec = _SPECS.get(exp_id)
     if spec is None:
@@ -367,15 +409,33 @@ def run_experiment(
         raise ExperimentError(f"unknown experiment {exp_id!r}; known: {known}")
     if retries < 0:
         raise ExperimentError(f"retries must be >= 0, got {retries}")
+    sig_params = inspect.signature(spec.runner).parameters
     kwargs = dict(spec.quick_kwargs if quick else spec.full_kwargs)
     kwargs.update(overrides)
-    if seed is not None and "seed" in inspect.signature(spec.runner).parameters:
+    if seed is not None and "seed" in sig_params:
         kwargs.setdefault("seed", seed)
+    kwargs = {k: v for k, v in kwargs.items() if k not in _RUNTIME_ONLY}
+    if cache is not None:
+        hit = cache.get_rows(exp_id, kwargs, quick=quick, seed=seed)
+        if hit is not None:
+            return ExperimentResult(
+                exp_id=exp_id,
+                title=spec.title,
+                rows=hit,
+                params=kwargs,
+                notes=spec.notes,
+                cached=True,
+            )
+    call_kwargs = dict(kwargs)
+    if pool is not None and "pool" in sig_params:
+        call_kwargs["pool"] = pool
+    if cache is not None and "cache" in sig_params:
+        call_kwargs["cache"] = cache
     attempts = retries + 1
     for attempt in range(attempts):
         try:
             with _watchdog(timeout, exp_id):
-                rows = spec.runner(**kwargs)
+                rows = spec.runner(**call_kwargs)
             break
         except ExperimentTimeoutError:
             raise  # a timeout is a budget decision, not a transient fault
@@ -383,6 +443,8 @@ def run_experiment(
             if attempt + 1 >= attempts:
                 raise
             time.sleep(retry_backoff * (2**attempt))
+    if cache is not None:
+        cache.put_rows(exp_id, rows, kwargs, quick=quick, seed=seed)
     return ExperimentResult(
         exp_id=exp_id,
         title=spec.title,

@@ -101,15 +101,22 @@ _GRADERS: dict[str, Callable] = {
 
 
 def run_scorecard(
-    *, quick: bool = True, seed: int | None = None
+    *, quick: bool = True, seed: int | None = None, cache=None
 ) -> list[dict[str, object]]:
-    """Run every graded artifact and report pass/fail per claim."""
+    """Run every graded artifact and report pass/fail per claim.
+
+    ``cache`` (a :class:`repro.parallel.ResultCache`) lets the grading
+    pass reuse sub-experiment rows a previous run — typically the same
+    ``python -m repro all`` batch — already computed, instead of
+    regenerating every artifact; rows survive the cache's JSON
+    round-trip bit-exactly, so grades are identical either way.
+    """
     from repro.experiments.registry import run_experiment
 
     rows: list[dict[str, object]] = []
     for exp_id, grader in _GRADERS.items():
         try:
-            result = run_experiment(exp_id, quick=quick, seed=seed)
+            result = run_experiment(exp_id, quick=quick, seed=seed, cache=cache)
             passed, claim = grader(result.rows)
             rows.append(
                 {

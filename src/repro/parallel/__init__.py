@@ -1,0 +1,48 @@
+"""Parallel execution layer: process pools, sharding, result caching.
+
+Two levels of fan-out (docs/PERFORMANCE.md):
+
+* **Inter-experiment** — :class:`ParallelExecutor` runs whole
+  experiments in worker processes with parent-enforced process-level
+  timeouts and single-writer checkpointing
+  (``python -m repro all --jobs N``).
+* **Intra-experiment** — :class:`ShardPool` / :func:`make_pool` map
+  trial shards (``SyntheticHarness.run(n_shards=...)``) and sweep
+  cells (``run_fig3(pool=...)``) over workers; per-shard
+  ``SeedSequence`` streams plus ordered ``Welford.merge_all`` keep
+  results bit-identical for a fixed ``(seed, n_shards)`` and invariant
+  to the worker count.
+
+Plus :class:`ResultCache`, the content-addressed row store keyed on
+``exp_id + kwargs + seed + quick +`` a source-tree fingerprint.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.cache import ResultCache, cache_key, source_fingerprint
+from repro.parallel.executor import (
+    ExperimentOutcome,
+    ExperimentTask,
+    ParallelExecutor,
+)
+from repro.parallel.pool import (
+    ProcessPool,
+    SerialPool,
+    ShardPool,
+    best_start_method,
+    make_pool,
+)
+
+__all__ = [
+    "ExperimentOutcome",
+    "ExperimentTask",
+    "ParallelExecutor",
+    "ProcessPool",
+    "ResultCache",
+    "SerialPool",
+    "ShardPool",
+    "best_start_method",
+    "cache_key",
+    "make_pool",
+    "source_fingerprint",
+]

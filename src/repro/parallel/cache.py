@@ -1,0 +1,176 @@
+"""Content-addressed experiment result cache.
+
+``python -m repro`` reruns are usually replays: the simulator is a pure
+function of ``(code, exp_id, kwargs, seed, quick)``, so recomputing a
+200k-trial grid that nothing invalidated is pure wall clock.  The cache
+stores each experiment's **rows** under a key that hashes exactly the
+things the rows depend on:
+
+``key = sha256(version | exp_id | quick | seed | canonical(kwargs) |
+source fingerprint)``
+
+* ``kwargs`` are canonicalized (sorted keys, tuples as lists,
+  non-JSON values by ``repr``) so equivalent calls collide on purpose.
+* The **source fingerprint** hashes every ``.py`` file under the
+  installed ``repro`` package (path + content), so *any* code change
+  invalidates every entry — no staleness analysis, just a new key.
+
+Only rows are reused; titles, params, and notes are rebuilt from the
+live registry at hit time, so a cached result is indistinguishable from
+a fresh one in every rendered artifact (rows survive a JSON round-trip
+bit-exactly: floats serialize via shortest-repr).
+
+Failures are never cached, and a corrupt or unreadable entry is a miss,
+never an error.  ``scorecard`` is the headline consumer: in one
+``python -m repro all`` batch it re-grades sub-experiments from their
+just-written cache entries instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import repro
+
+__all__ = ["ResultCache", "source_fingerprint", "cache_key"]
+
+#: Bump to invalidate every existing cache entry on format changes.
+CACHE_VERSION = 1
+
+_fingerprint_memo: dict[pathlib.Path, str] = {}
+
+
+def source_fingerprint(root: pathlib.Path | None = None) -> str:
+    """Hash of every ``.py`` file (relative path + content) under ``root``.
+
+    ``root`` defaults to the installed :mod:`repro` package directory.
+    Memoized per process: the tree cannot change under a running
+    experiment batch, and workers would otherwise rescan per task.
+    """
+    if root is None:
+        root = pathlib.Path(repro.__file__).resolve().parent
+    root = pathlib.Path(root)
+    cached = _fingerprint_memo.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    out = digest.hexdigest()
+    _fingerprint_memo[root] = out
+    return out
+
+
+def _canon(value):
+    """Canonical JSON-able form of a kwargs value (stable across runs)."""
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def cache_key(
+    exp_id: str,
+    kwargs: dict,
+    *,
+    quick: bool,
+    seed: int | None,
+    fingerprint: str,
+) -> str:
+    """The content hash one experiment invocation addresses."""
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "exp_id": exp_id,
+            "quick": bool(quick),
+            "seed": seed,
+            "kwargs": _canon(kwargs),
+            "fingerprint": fingerprint,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Row store under ``root``, one JSON file per key.
+
+    ``fingerprint`` may be passed in (e.g. computed once in the parent
+    and shipped to worker processes); by default it is computed — and
+    memoized — from the installed source tree.
+    """
+
+    def __init__(
+        self, root: pathlib.Path | str, *, fingerprint: str | None = None
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.fingerprint = fingerprint or source_fingerprint()
+
+    def _path(self, exp_id: str, key: str) -> pathlib.Path:
+        # exp_id prefix keeps the directory human-auditable
+        return self.root / f"{exp_id}-{key[:32]}.json"
+
+    def key(
+        self, exp_id: str, kwargs: dict, *, quick: bool, seed: int | None
+    ) -> str:
+        return cache_key(
+            exp_id, kwargs, quick=quick, seed=seed, fingerprint=self.fingerprint
+        )
+
+    def get_rows(
+        self, exp_id: str, kwargs: dict, *, quick: bool, seed: int | None
+    ) -> list[dict] | None:
+        """Cached rows for this invocation, or ``None`` on any miss."""
+        path = self._path(
+            exp_id, self.key(exp_id, kwargs, quick=quick, seed=seed)
+        )
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        rows = payload.get("rows") if isinstance(payload, dict) else None
+        if not isinstance(rows, list):
+            return None
+        return rows
+
+    def put_rows(
+        self,
+        exp_id: str,
+        rows: list[dict],
+        kwargs: dict,
+        *,
+        quick: bool,
+        seed: int | None,
+    ) -> pathlib.Path | None:
+        """Store rows; returns the entry path, or ``None`` when the rows
+        are not JSON-serializable (such results are simply not cached)."""
+        key = self.key(exp_id, kwargs, quick=quick, seed=seed)
+        payload = {
+            "version": CACHE_VERSION,
+            "exp_id": exp_id,
+            "quick": bool(quick),
+            "seed": seed,
+            "kwargs": _canon(kwargs),
+            "fingerprint": self.fingerprint,
+            "rows": rows,
+        }
+        try:
+            text = json.dumps(payload)
+        except (TypeError, ValueError):
+            return None
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(exp_id, key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text + "\n")
+        tmp.replace(path)  # atomic: concurrent writers race benignly
+        return path

@@ -1,0 +1,108 @@
+"""Shard pools: map picklable work over worker processes, in order.
+
+The determinism contract of the whole package rests on one property of
+these pools: :meth:`ShardPool.starmap` returns results **in task
+order**, regardless of which worker finished first.  Combined with the
+per-shard ``SeedSequence`` streams (:func:`repro.rngutil.spawn_streams`)
+this makes every sharded computation bit-identical for a fixed
+``(seed, n_shards)`` and invariant to the worker count — ``--jobs`` can
+only change wall clock, never a row.
+
+Two implementations share the interface:
+
+* :class:`SerialPool` — runs tasks inline.  The ``jobs=1`` path and the
+  default when no pool is supplied; also what worker processes use
+  internally (no nested pools).
+* :class:`ProcessPool` — a thin wrapper over
+  :class:`multiprocessing.pool.Pool` using the ``fork`` start method
+  where available (so runtime-registered experiments and closures
+  survive into workers), falling back to ``spawn`` elsewhere.
+
+Worker functions handed to a pool must be module-level (picklable) and
+must take their seed/stream as an explicit argument — enforced
+statically by simlint rule DET004 (docs/STATIC_ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ShardPool", "SerialPool", "ProcessPool", "make_pool", "best_start_method"]
+
+
+def best_start_method() -> str:
+    """``fork`` where the platform offers it, else ``spawn``.
+
+    Fork keeps the parent's in-memory experiment registry (including
+    test doubles registered at runtime) visible to workers; spawn-based
+    workers can only run experiments importable from the module tree.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ShardPool:
+    """Interface: ordered ``starmap`` over argument tuples."""
+
+    #: number of concurrent workers (1 for the serial pool).
+    jobs: int = 1
+
+    def starmap(
+        self, fn: Callable, tasks: Iterable[Sequence]
+    ) -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker processes (idempotent)."""
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialPool(ShardPool):
+    """Run every task inline, in order."""
+
+    jobs = 1
+
+    def starmap(self, fn: Callable, tasks: Iterable[Sequence]) -> list:
+        return [fn(*task) for task in tasks]
+
+
+class ProcessPool(ShardPool):
+    """Ordered process-backed ``starmap`` (multiprocessing.Pool).
+
+    Results come back in task order (``Pool.starmap`` semantics), so a
+    sharded reduction that folds them by index is deterministic no
+    matter which worker ran which shard.
+    """
+
+    def __init__(self, jobs: int, *, start_method: str | None = None) -> None:
+        if jobs < 1:
+            raise InvalidParameterError(f"need jobs >= 1, got {jobs}")
+        self.jobs = jobs
+        ctx = multiprocessing.get_context(start_method or best_start_method())
+        self._pool = ctx.Pool(processes=jobs)
+
+    def starmap(self, fn: Callable, tasks: Iterable[Sequence]) -> list:
+        return self._pool.starmap(fn, [tuple(t) for t in tasks])
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def make_pool(jobs: int, *, start_method: str | None = None) -> ShardPool:
+    """A :class:`ProcessPool` for ``jobs > 1``, else a :class:`SerialPool`."""
+    if jobs < 1:
+        raise InvalidParameterError(f"need jobs >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialPool()
+    return ProcessPool(jobs, start_method=start_method)

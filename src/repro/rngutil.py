@@ -19,6 +19,7 @@ __all__ = [
     "ensure_rng",
     "spawn_streams",
     "stream_for",
+    "seedseq_for",
     "DEFAULT_SEED",
 ]
 
@@ -63,6 +64,25 @@ def spawn_streams(
     return [np.random.default_rng(child) for child in root.spawn(n)]
 
 
+def seedseq_for(seed: int | None, *path: int | str) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` behind :func:`stream_for`.
+
+    Use this instead of :func:`stream_for` when the component needs to
+    *spawn* further independent child streams (e.g. one per trial shard
+    in a parallel run) rather than draw directly: spawning from the
+    sequence keeps the shard tree deterministic for a fixed
+    ``(seed, path, n_shards)`` regardless of how many worker processes
+    execute the shards.
+    """
+    entropy: list[int] = [DEFAULT_SEED if seed is None else int(seed)]
+    for part in path:
+        if isinstance(part, str):
+            entropy.extend(part.encode("utf-8"))
+        else:
+            entropy.append(int(part))
+    return np.random.SeedSequence(entropy)
+
+
 def stream_for(seed: int | None, *path: int | str) -> np.random.Generator:
     """Derive a generator for a named component.
 
@@ -73,13 +93,7 @@ def stream_for(seed: int | None, *path: int | str) -> np.random.Generator:
     a stable (non-``hash()``) encoding so results do not vary with
     ``PYTHONHASHSEED``.
     """
-    entropy: list[int] = [DEFAULT_SEED if seed is None else int(seed)]
-    for part in path:
-        if isinstance(part, str):
-            entropy.extend(part.encode("utf-8"))
-        else:
-            entropy.append(int(part))
-    return np.random.default_rng(np.random.SeedSequence(entropy))
+    return np.random.default_rng(seedseq_for(seed, *path))
 
 
 def interleave_choices(

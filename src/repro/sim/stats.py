@@ -10,6 +10,7 @@ competitive-ratio accounting, and a fixed-bin histogram.
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
 import numpy as np
 
@@ -96,6 +97,20 @@ class Welford:
                 out.n = total
                 out.min = min(out.min, acc.min)
                 out.max = max(out.max, acc.max)
+        return out
+
+    @classmethod
+    def merge_all(cls, accs: "Iterable[Welford]") -> "Welford":
+        """Left-fold :meth:`merge` over ``accs`` (shard-order combine).
+
+        Used to reassemble per-shard accumulators from a parallel run;
+        callers must pass shards in a deterministic order (shard index)
+        so the float fold — associative only to rounding — is identical
+        no matter how many workers computed the shards.
+        """
+        out = cls()
+        for acc in accs:
+            out = out.merge(acc)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

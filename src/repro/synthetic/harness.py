@@ -36,10 +36,27 @@ from repro.core.requestor_aborts import optimal_requestor_aborts
 from repro.core.requestor_wins import optimal_requestor_wins
 from repro.distributions.base import LengthDistribution
 from repro.errors import InvalidParameterError
-from repro.rngutil import ensure_rng
+from repro.rngutil import DEFAULT_SEED, ensure_rng
 from repro.sim.stats import Welford
 
 __all__ = ["SyntheticHarness", "SyntheticResult", "default_policy_suite", "PolicyEntry"]
+
+
+def _shard_worker(
+    harness: "SyntheticHarness",
+    dist: LengthDistribution,
+    trials: int,
+    seedseq: "np.random.SeedSequence",
+    batch: int,
+) -> dict[str, Welford]:
+    """One trial shard (module-level so process pools can pickle it).
+
+    Takes its stream as an explicit ``SeedSequence`` argument — never
+    constructs RNG state of its own (simlint DET004): shard streams
+    must be spawned by the caller so the shard tree is a pure function
+    of ``(seed, n_shards)``, not of which worker ran what.
+    """
+    return harness._accumulate(dist, trials, np.random.default_rng(seedseq), batch)
 
 
 @dataclass(frozen=True)
@@ -147,34 +164,97 @@ class SyntheticHarness:
         self,
         dist: LengthDistribution,
         trials: int,
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int | np.random.SeedSequence | None = None,
         *,
         batch: int = 100_000,
+        n_shards: int = 1,
+        pool=None,
     ) -> SyntheticResult:
         """Score every policy on ``trials`` conflicts drawn from ``dist``.
 
         All policies see the *same* remaining-time draws (common random
         numbers — variance reduction for the cross-policy comparison).
+
+        ``n_shards > 1`` splits the trials into independently seeded
+        shards (``SeedSequence`` spawning; CRN still holds within each
+        shard) and combines per-shard accumulators with
+        :meth:`Welford.merge_all` **in shard order** — so the result is
+        bit-identical for a fixed ``(rng, n_shards)`` whether the
+        shards run serially or on ``pool`` (an object with ``starmap``,
+        e.g. :class:`repro.parallel.ProcessPool`).  Sharded runs need a
+        seed or ``SeedSequence``, not a live ``Generator``: an opaque
+        generator cannot be split into independent streams
+        deterministically.
         """
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        gen = ensure_rng(rng)
-        result = SyntheticResult(
+        if n_shards < 1:
+            raise InvalidParameterError(
+                f"n_shards must be >= 1, got {n_shards}"
+            )
+        if n_shards == 1:
+            stats = self._accumulate(dist, trials, ensure_rng(rng), batch)
+            return SyntheticResult(
+                distribution=dist.name,
+                B=self.B,
+                mu=self.mu,
+                trials=trials,
+                stats=stats,
+            )
+        if isinstance(rng, np.random.Generator):
+            raise InvalidParameterError(
+                "sharded runs (n_shards > 1) need an int seed or "
+                "SeedSequence, not a Generator: a live generator cannot "
+                "be split into deterministic independent streams"
+            )
+        root = (
+            rng
+            if isinstance(rng, np.random.SeedSequence)
+            else np.random.SeedSequence(
+                DEFAULT_SEED if rng is None else int(rng)
+            )
+        )
+        children = root.spawn(n_shards)
+        base, extra = divmod(trials, n_shards)
+        tasks = [
+            (self, dist, base + (1 if i < extra else 0), children[i], batch)
+            for i in range(n_shards)
+            if base + (1 if i < extra else 0) > 0
+        ]
+        if pool is None:
+            shard_stats = [_shard_worker(*task) for task in tasks]
+        else:
+            shard_stats = pool.starmap(_shard_worker, tasks)
+        labels = [entry.label for entry in self.policies]
+        return SyntheticResult(
             distribution=dist.name,
             B=self.B,
             mu=self.mu,
             trials=trials,
-            stats={entry.label: Welford() for entry in self.policies},
+            stats={
+                label: Welford.merge_all(s[label] for s in shard_stats)
+                for label in labels
+            },
         )
+
+    def _accumulate(
+        self,
+        dist: LengthDistribution,
+        trials: int,
+        gen: np.random.Generator,
+        batch: int,
+    ) -> dict[str, Welford]:
+        """The vectorized trial loop for one stream (= one shard)."""
+        stats = {entry.label: Welford() for entry in self.policies}
         done = 0
         while done < trials:
             n = min(batch, trials - done)
             remaining = self.draw_remaining(dist, n, gen)
             for entry in self.policies:
                 costs = self._score(entry, remaining, gen)
-                result.stats[entry.label].add_many(costs)
+                stats[entry.label].add_many(costs)
             done += n
-        return result
+        return stats
 
     def _score(
         self,

@@ -8,6 +8,18 @@ import pytest
 from repro.core.model import ConflictKind, ConflictModel
 
 
+@pytest.fixture(autouse=True)
+def _no_result_cache(monkeypatch):
+    """Keep the CLI's result cache off by default in tests.
+
+    Call-count assertions (retries, resume, keep-going) count actual
+    runner invocations; a warm cache would satisfy them without
+    running anything.  Cache-specific tests opt back in by deleting
+    the variable or passing --cache explicitly.
+    """
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

@@ -1,0 +1,378 @@
+"""Parallel execution layer: shard pools, the content-addressed result
+cache, the process-level executor, and the CLI's --jobs/--cache wiring.
+
+The load-bearing contract everywhere: rows are a function of
+(experiment, quick, seed, fixed shard count) — never of --jobs, the
+pool, or the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import InvalidParameterError, SimulationError
+from repro.experiments import EXPERIMENTS, register_experiment, run_experiment
+from repro.experiments.registry import _SPECS
+from repro.parallel import (
+    ParallelExecutor,
+    ProcessPool,
+    ResultCache,
+    SerialPool,
+    cache_key,
+    make_pool,
+)
+
+
+@pytest.fixture
+def scratch(monkeypatch):
+    """Register throwaway experiments; deregister them afterwards.
+
+    Workers inherit these via fork, so executor tests can use
+    registrations made in the test process.
+    """
+    registered: list[str] = []
+
+    def _register(exp_id, runner, **kwargs):
+        register_experiment(exp_id, f"test double {exp_id}", runner, **kwargs)
+        registered.append(exp_id)
+        return exp_id
+
+    yield _register
+    for exp_id in registered:
+        _SPECS.pop(exp_id, None)
+        EXPERIMENTS.pop(exp_id, None)
+
+
+def _square(x):
+    return x * x
+
+
+def _rows(**kw):
+    return [{"x": 1}]
+
+
+def _fail(**kw):
+    raise SimulationError("injected failure")
+
+
+def _die(**kw):  # worker vanishes without sending a result
+    os._exit(3)
+
+
+def _slow_rows(**kw):
+    time.sleep(0.6)
+    return [{"x": "slow"}]
+
+
+def _hang(**kw):  # killable by the in-worker SIGALRM watchdog
+    while True:
+        time.sleep(0.02)
+
+
+def _stubborn_hang(**kw):
+    """A SIGALRM-proof hang: swallows the watchdog's exception.
+
+    Only the parent's process-level kill can stop this — the regression
+    case for the old silently-unenforced timeout.
+    """
+    while True:
+        try:
+            time.sleep(0.02)
+        except BaseException:
+            pass
+
+
+class _MarkingRunner:
+    """Picklable runner that appends a line to a file per invocation,
+    so call counts survive the process boundary."""
+
+    def __init__(self, path):
+        self.path = str(path)
+
+    def __call__(self, **kw):
+        with open(self.path, "a") as fh:
+            fh.write("run\n")
+        return [{"x": 1}]
+
+
+def _runs(path) -> int:
+    try:
+        return path.read_text().count("run")
+    except FileNotFoundError:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+class TestPools:
+    def test_make_pool_serial(self):
+        pool = make_pool(1)
+        assert isinstance(pool, SerialPool)
+        assert pool.starmap(_square, [(i,) for i in range(5)]) == [
+            0, 1, 4, 9, 16,
+        ]
+        pool.close()
+
+    def test_process_pool_preserves_order(self):
+        with make_pool(2) as pool:
+            assert isinstance(pool, ProcessPool)
+            out = pool.starmap(_square, [(i,) for i in range(20)])
+        assert out == [i * i for i in range(20)]
+
+    def test_jobs_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_pool(0)
+        with pytest.raises(InvalidParameterError):
+            ParallelExecutor(0)
+
+
+# ---------------------------------------------------------------------------
+class TestResultCache:
+    def test_roundtrip_is_exact(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f" * 64)
+        rows = [
+            {"ratio": 0.1 + 0.2, "n": 3, "label": "DET", "tiny": 5e-324},
+            {"ratio": 2.0 / 3.0, "n": 4, "label": "OPT", "tiny": 1e308},
+        ]
+        assert cache.get_rows("zz", {"a": 1}, quick=True, seed=3) is None
+        cache.put_rows("zz", rows, {"a": 1}, quick=True, seed=3)
+        hit = cache.get_rows("zz", {"a": 1}, quick=True, seed=3)
+        assert hit == rows  # bit-exact floats: JSON shortest-repr round-trip
+
+    def test_key_sensitivity(self):
+        base = dict(quick=True, seed=3, fingerprint="a" * 64)
+        k = cache_key("zz", {"a": 1}, **base)
+        assert cache_key("zz", {"a": 2}, **base) != k
+        assert cache_key("zz2", {"a": 1}, **base) != k
+        assert cache_key("zz", {"a": 1}, **{**base, "seed": 4}) != k
+        assert cache_key("zz", {"a": 1}, **{**base, "quick": False}) != k
+        assert (
+            cache_key("zz", {"a": 1}, **{**base, "fingerprint": "b" * 64})
+            != k
+        )
+        # kwarg ordering must NOT matter
+        assert cache_key("zz", {"b": 2, "a": 1}, **base) == cache_key(
+            "zz", {"a": 1, "b": 2}, **base
+        )
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f" * 64)
+        cache.put_rows("zz", [{"x": 1}], {}, quick=False, seed=None)
+        (entry,) = list(tmp_path.glob("zz-*.json"))
+        entry.write_text("{ not json")
+        assert cache.get_rows("zz", {}, quick=False, seed=None) is None
+
+    def test_unserializable_rows_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f" * 64)
+        assert (
+            cache.put_rows("zz", [{"x": object()}], {}, quick=False, seed=None)
+            is None
+        )
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_run_experiment_cache_hit(self, scratch, tmp_path):
+        calls = []
+
+        def runner(**kw):
+            calls.append(1)
+            return [{"v": 0.1 + 0.2, "n": 7}]
+
+        exp_id = scratch("zz_cached", runner)
+        cache = ResultCache(tmp_path)
+        first = run_experiment(exp_id, cache=cache)
+        second = run_experiment(exp_id, cache=cache)
+        assert len(calls) == 1
+        assert not first.cached and second.cached
+        assert second.rows == first.rows
+        assert second.params == first.params
+        assert second.title == first.title
+
+    def test_failures_never_cached(self, scratch, tmp_path):
+        exp_id = scratch("zz_fail", _fail)
+        cache = ResultCache(tmp_path)
+        with pytest.raises(SimulationError):
+            run_experiment(exp_id, cache=cache)
+        assert list(tmp_path.glob(f"{exp_id}-*.json")) == []
+
+
+# ---------------------------------------------------------------------------
+class TestExecutor:
+    def test_submission_order_out_completion_order_hook(self, scratch):
+        scratch("zz_slow", _slow_rows)
+        scratch("zz_fast", _rows)
+        completion: list[str] = []
+        outcomes = ParallelExecutor(2).run(
+            ["zz_slow", "zz_fast"],
+            on_complete=lambda o: completion.append(o.exp_id),
+        )
+        assert [o.exp_id for o in outcomes] == ["zz_slow", "zz_fast"]
+        assert completion == ["zz_fast", "zz_slow"]
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].result.rows == [{"x": 1}]
+
+    def test_worker_crash_reported_not_hung(self, scratch):
+        exp_id = scratch("zz_die", _die)
+        (outcome,) = ParallelExecutor(1).run([exp_id])
+        assert outcome.status == "failed"
+        assert "exited without a result" in outcome.error
+        assert "exit code 3" in outcome.error
+
+    def test_in_worker_watchdog_fires(self, scratch):
+        """Workers run on their own main thread, so SIGALRM is armed."""
+        exp_id = scratch("zz_hang", _hang)
+        (outcome,) = ParallelExecutor(1, timeout=0.2, kill_grace=5.0).run(
+            [exp_id]
+        )
+        assert outcome.error_type == "ExperimentTimeoutError"
+        assert "killed by the parent" not in outcome.error
+
+    def test_parent_kills_sigalrm_proof_hang(self, scratch):
+        """Regression: a runner that swallows the watchdog exception used
+        to hang forever; the parent must kill the worker process."""
+        exp_id = scratch("zz_stubborn", _stubborn_hang)
+        start = time.monotonic()
+        (outcome,) = ParallelExecutor(1, timeout=0.3, kill_grace=0.3).run(
+            [exp_id]
+        )
+        assert time.monotonic() - start < 10.0
+        assert outcome.status == "failed"
+        assert outcome.error_type == "ExperimentTimeoutError"
+        assert "killed by the parent" in outcome.error
+
+    def test_stop_on_failure_skips_unstarted(self, scratch):
+        scratch("zz_f1", _fail)
+        scratch("zz_ok1", _rows)
+        outcomes = ParallelExecutor(1).run(
+            ["zz_f1", "zz_ok1"], stop_on_failure=True
+        )
+        assert [o.status for o in outcomes] == ["failed", "skipped"]
+
+
+# ---------------------------------------------------------------------------
+class TestWatchdogOffMainThread:
+    def test_warns_and_still_runs(self, scratch, caplog):
+        """Satellite 1: off the main thread the SIGALRM watchdog cannot
+        arm — that must be a logged warning, never a silent no-op."""
+        exp_id = scratch("zz_threaded", _rows)
+        results: list = []
+        with caplog.at_level(
+            logging.WARNING, logger="repro.experiments.registry"
+        ):
+            t = threading.Thread(
+                target=lambda: results.append(
+                    run_experiment(exp_id, timeout=5.0)
+                )
+            )
+            t.start()
+            t.join()
+        assert results and results[0].rows == [{"x": 1}]
+        assert any(
+            "SIGALRM watchdog cannot arm" in rec.message
+            for rec in caplog.records
+        )
+
+
+# ---------------------------------------------------------------------------
+class TestCLIParallel:
+    def test_jobs_validation(self, capsys):
+        assert main(["fig2a", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_invariance_of_json_rows(self, tmp_path):
+        """The acceptance check: --jobs changes wall clock, never rows."""
+        out1, out4 = tmp_path / "j1", tmp_path / "j4"
+        args = ["fig2a", "tab_ratios", "--quick", "--seed", "3", "--json"]
+        assert main([*args, "--jobs", "4", "--out", str(out4)]) == 0
+        assert main([*args, "--jobs", "1", "--out", str(out1)]) == 0
+        for exp_id in ("fig2a", "tab_ratios"):
+            a = (out1 / f"{exp_id}.json").read_text()
+            b = (out4 / f"{exp_id}.json").read_text()
+            assert a == b, f"{exp_id} rows differ between --jobs 1 and 4"
+
+    def test_parallel_keep_going_checkpoint_and_resume(
+        self, scratch, tmp_path
+    ):
+        mark_a, mark_c = tmp_path / "a.log", tmp_path / "c.log"
+        scratch("zz_pa", _MarkingRunner(mark_a))
+        scratch("zz_pb", _fail)
+        scratch("zz_pc", _MarkingRunner(mark_c))
+        ckpt = tmp_path / "ckpt.json"
+        batch = ["zz_pa", "zz_pb", "zz_pc", "--jobs", "2", "--keep-going",
+                 "--checkpoint", str(ckpt)]
+        assert main(batch) == 1  # zz_pb failed, others completed
+        done = json.loads(ckpt.read_text())["done"]
+        assert done["zz_pa"]["status"] == "ok"
+        assert done["zz_pb"]["status"] == "failed"
+        assert done["zz_pb"]["error_type"] == "SimulationError"
+        assert done["zz_pc"]["status"] == "ok"
+        assert _runs(mark_a) == 1 and _runs(mark_c) == 1
+        # resume: completed experiments are skipped, the failure re-runs
+        assert main([*batch, "--resume"]) == 1
+        assert _runs(mark_a) == 1 and _runs(mark_c) == 1
+
+    def test_killed_batch_resumes_where_it_stopped(self, scratch, tmp_path):
+        """A batch interrupted mid-run (checkpoint holds its completed
+        prefix) must skip exactly the finished experiments on --resume."""
+        mark_a, mark_b = tmp_path / "a.log", tmp_path / "b.log"
+        scratch("zz_ra", _MarkingRunner(mark_a))
+        scratch("zz_rb", _MarkingRunner(mark_b))
+        ckpt = tmp_path / "ckpt.json"
+        # first invocation "dies" after completing only zz_ra
+        assert main(["zz_ra", "--checkpoint", str(ckpt)]) == 0
+        assert main(
+            ["zz_ra", "zz_rb", "--jobs", "2", "--checkpoint", str(ckpt),
+             "--resume"]
+        ) == 0
+        assert _runs(mark_a) == 1  # not re-run
+        assert _runs(mark_b) == 1
+        done = json.loads(ckpt.read_text())["done"]
+        assert set(done) == {"zz_ra", "zz_rb"}
+
+    def test_cache_flag_roundtrip(self, scratch, tmp_path, monkeypatch,
+                                  capsys):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        mark = tmp_path / "m.log"
+        scratch("zz_cc", _MarkingRunner(mark))
+        args = ["zz_cc", "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        assert main(args) == 0
+        assert _runs(mark) == 1
+        assert "(cache hit)" in capsys.readouterr().out
+        # --no-cache forces a re-run
+        assert main([*args, "--no-cache"]) == 0
+        assert _runs(mark) == 2
+
+
+# ---------------------------------------------------------------------------
+class TestShardedHarness:
+    def test_pool_invariance_and_identity(self):
+        from repro.distributions import ExponentialLengths
+        from repro.rngutil import seedseq_for
+        from repro.synthetic import SyntheticHarness
+
+        dist = ExponentialLengths(500.0)
+        harness = SyntheticHarness(2000.0, 500.0)
+        serial = harness.run(dist, 4000, seedseq_for(3, "t"), n_shards=4)
+        with make_pool(2) as pool:
+            pooled = harness.run(
+                dist, 4000, seedseq_for(3, "t"), n_shards=4, pool=pool
+            )
+        for label, acc in serial.stats.items():
+            assert pooled.stats[label].mean == acc.mean  # bit-equal
+            assert pooled.stats[label].sem == acc.sem
+
+    def test_live_generator_rejected_for_sharding(self, rng):
+        from repro.distributions import ExponentialLengths
+        from repro.synthetic import SyntheticHarness
+
+        harness = SyntheticHarness(2000.0, 500.0)
+        with pytest.raises(InvalidParameterError, match="SeedSequence"):
+            harness.run(
+                ExponentialLengths(500.0), 1000, rng, n_shards=4
+            )

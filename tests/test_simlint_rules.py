@@ -125,6 +125,66 @@ class TestNumpySingleton:
 
 
 # ---------------------------------------------------------------------------
+# DET004 — worker entry functions carry their seed
+# ---------------------------------------------------------------------------
+class TestWorkerSeed:
+    def test_worker_without_seed_param_flagged(self):
+        src = "def _cell_worker(a, b):\n    return a + b\n"
+        assert hits(src, path=UNSCOPED_PATH) == ["DET004"]
+
+    def test_applies_outside_sim_scope(self):
+        # workers live in experiments/, not the DET001-003 scope dirs
+        src = "def _shard_worker(x):\n    return x\n"
+        assert hits(src, path="src/repro/experiments/fixture.py") == [
+            "DET004"
+        ]
+
+    @pytest.mark.parametrize(
+        "params", ["a, seed", "a, base_seed", "rng, n", "a, *, stream",
+                   "a, seedseq"]
+    )
+    def test_seed_bearing_params_clean(self, params):
+        src = f"def _cell_worker({params}):\n    return 0\n"
+        assert hits(src, path=UNSCOPED_PATH) == []
+
+    def test_non_worker_function_ignored(self):
+        src = "def run_sweep(a, b):\n    return a + b\n"
+        assert hits(src, path=UNSCOPED_PATH) == []
+
+    def test_unseeded_rng_inside_worker_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def _shard_worker(seed):\n"
+            "    return np.random.default_rng().random()\n"
+        )
+        assert hits(src, path=UNSCOPED_PATH) == ["DET004"]
+
+    def test_global_singleton_inside_worker_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def _shard_worker(seed):\n"
+            "    return np.random.uniform()\n"
+        )
+        assert hits(src, path=UNSCOPED_PATH) == ["DET004"]
+
+    def test_seeded_rng_inside_worker_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def _shard_worker(seedseq):\n"
+            "    return np.random.default_rng(seedseq).random()\n"
+        )
+        assert hits(src, path=UNSCOPED_PATH) == []
+
+    def test_suppression_with_justification(self):
+        src = (
+            "def _worker_entry(conn, task):  "
+            "# simlint: disable=DET004 -- seed rides in the task payload\n"
+            "    return task\n"
+        )
+        assert hits(src, path=UNSCOPED_PATH) == []
+
+
+# ---------------------------------------------------------------------------
 # ORD001 / ORD002 — unordered iteration
 # ---------------------------------------------------------------------------
 class TestOrdering:
