@@ -13,6 +13,8 @@ Rules are grouped by contract family:
           mutation outside construction
 ``POL``   project contracts: policy/workload/injector subclasses
           implement the protocol and are registered
+``OBS``   observability: sim-critical code reports through the
+          metrics registry / trace bus, never bare print or logging
 ========  ==========================================================
 """
 
@@ -43,6 +45,7 @@ from repro.analysis.rules.errors import (
     BroadExceptRule,
     SwallowedWatchdogRule,
 )
+from repro.analysis.rules.obs import PrintLoggingRule
 from repro.analysis.rules.ordering import SetIterationRule, SetPopRule
 
 __all__ = [
@@ -74,6 +77,7 @@ ALL_RULES: tuple[Rule, ...] = (
     RegistryNameRule(),
     RegistrationRule(),
     InjectorHookRule(),
+    PrintLoggingRule(),
 )
 
 

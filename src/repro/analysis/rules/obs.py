@@ -1,0 +1,82 @@
+"""OBS — observability rules for simulation-critical code.
+
+Since the unified observability layer (docs/OBSERVABILITY.md), the
+sanctioned reporting channels inside the simulation tree are the
+metrics registry, the trace bus, and raised exceptions.  ``print`` and
+``logging`` calls in that code are one-off side channels: their output
+interleaves nondeterministically across worker processes, corrupts
+rendered reports on the serial path, and — unlike bus events — can
+never be captured, diffed, or replayed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+)
+
+__all__ = ["PrintLoggingRule"]
+
+#: Dotted-name parts that mark a call as stdlib-logging traffic
+#: (``logging.info``, ``logger.warning``, ``self.logger.debug``, ...).
+#: Exact-part matching keeps ``math.log`` and friends out of scope.
+_LOG_PARTS = frozenset({"logging", "logger"})
+
+
+class PrintLoggingRule(Rule):
+    id = "OBS001"
+    summary = "print/logging call inside simulation-critical code"
+    rationale = (
+        "sim-critical modules must report through the observability "
+        "layer (a MetricsRegistry counter, a TraceBus event) or raise; "
+        "print/logging output interleaves nondeterministically across "
+        "worker processes and cannot be captured or replayed.  A "
+        "deliberate debug aid can be suppressed with a justification."
+    )
+    scoped = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "logging":
+                        yield ctx.finding(
+                            node,
+                            self.id,
+                            "import of 'logging': emit structured events "
+                            "via repro.obs instead (docs/OBSERVABILITY.md)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "logging":
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "import from 'logging': emit structured events "
+                        "via repro.obs instead (docs/OBSERVABILITY.md)",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                if dotted == "print":
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "print() in simulation-critical code; emit a "
+                        "trace-bus event or metric instead "
+                        "(docs/OBSERVABILITY.md)",
+                    )
+                elif _LOG_PARTS & set(dotted.split(".")):
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"logging call {dotted}() in simulation-critical "
+                        f"code; emit a trace-bus event or metric instead "
+                        f"(docs/OBSERVABILITY.md)",
+                    )

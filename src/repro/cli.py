@@ -49,6 +49,7 @@ import os
 import pathlib
 import sys
 import time
+from contextlib import nullcontext
 
 from repro.errors import ReproError
 from repro.experiments import (
@@ -57,6 +58,8 @@ from repro.experiments import (
     render_result,
     run_experiment,
 )
+from repro.obs import capture as obs_capture
+from repro.obs.tracebus import NO_SIM_TIME, get_bus
 
 __all__ = ["main", "build_parser"]
 
@@ -168,6 +171,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip experiments the checkpoint already marks completed "
         "(same --quick/--seed run only)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write the batch's merged metrics snapshot as JSON "
+        "(per-experiment snapshots merged in submission order — "
+        "byte-identical at any --jobs; docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write the batch's trace events as canonical JSONL "
+        "(submission order — byte-identical at any --jobs)",
+    )
     return parser
 
 
@@ -219,6 +239,12 @@ def _save_checkpoint(
     tmp = path.with_suffix(path.suffix + ".tmp")
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     tmp.replace(path)  # atomic: a mid-write kill never corrupts it
+    # checkpoints land in completion order, so this goes to the global
+    # bus only — never into the per-experiment captures that feed
+    # --trace-out (which must stay invariant to --jobs)
+    get_bus().emit(
+        NO_SIM_TIME, "checkpoint_written", -1, path=str(path), done=len(done)
+    )
 
 
 def _emit_result(args: argparse.Namespace, result, elapsed: float) -> None:
@@ -242,6 +268,24 @@ def _emit_result(args: argparse.Namespace, result, elapsed: float) -> None:
             )
 
 
+def _write_obs(args: argparse.Namespace, snaps: list, events: list) -> None:
+    """Write --metrics-out / --trace-out artifacts.
+
+    ``snaps`` and ``events`` arrive in experiment submission order, so
+    both files are byte-identical at any ``--jobs``."""
+    from repro.obs import merge_snapshots
+    from repro.obs.tracebus import write_jsonl
+
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(
+            json.dumps(merge_snapshots(snaps), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[metrics snapshot -> {args.metrics_out}]")
+    if args.trace_out is not None:
+        count = write_jsonl(events, args.trace_out)
+        print(f"[{count} trace events -> {args.trace_out}]")
+
+
 def _run_parallel(
     args: argparse.Namespace,
     ids: list[str],
@@ -249,7 +293,9 @@ def _run_parallel(
     ckpt_path: pathlib.Path | None,
     done: dict[str, dict],
     failures: list[dict[str, object]],
-) -> None:
+    *,
+    collect: bool = False,
+) -> list:
     """Fan ``ids`` out over worker processes.
 
     The parent stays the only checkpoint writer: per-experiment
@@ -267,6 +313,7 @@ def _run_parallel(
         retries=args.retries,
         cache_dir=str(args.cache_dir) if cache is not None else None,
         fingerprint=cache.fingerprint if cache is not None else None,
+        collect=collect,
     )
     buffered: dict[str, object] = {}
     emit_order = list(ids)
@@ -321,6 +368,7 @@ def _run_parallel(
             f"{', '.join(skipped)}]",
             file=sys.stderr,
         )
+    return outcomes
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -332,6 +380,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # run one experiment under the trace bus and export its event
+        # stream; see repro.obs.cli and docs/OBSERVABILITY.md
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for exp_id, title in sorted(EXPERIMENTS.items()):
@@ -370,8 +424,18 @@ def main(argv: list[str] | None = None) -> int:
             continue
         run_ids.append(exp_id)
 
+    collect = args.metrics_out is not None or args.trace_out is not None
+
     if args.jobs > 1 and len(run_ids) > 1:
-        _run_parallel(args, run_ids, cache, ckpt_path, done, failures)
+        outcomes = _run_parallel(
+            args, run_ids, cache, ckpt_path, done, failures, collect=collect
+        )
+        if collect:
+            _write_obs(
+                args,
+                [o.metrics for o in outcomes if o.metrics is not None],
+                [e for o in outcomes if o.events for e in o.events],
+            )
         if failures:
             print(render_failures(failures), file=sys.stderr)
             return 1
@@ -383,19 +447,27 @@ def main(argv: list[str] | None = None) -> int:
         from repro.parallel import make_pool
 
         pool = make_pool(args.jobs)
+    snaps: list = []
+    events: list = []
     try:
         for exp_id in run_ids:
             start = time.perf_counter()
             try:
-                result = run_experiment(
-                    exp_id,
-                    quick=args.quick,
-                    seed=args.seed,
-                    timeout=args.timeout,
-                    retries=args.retries,
-                    cache=cache,
-                    pool=pool,
-                )
+                with (
+                    obs_capture() if collect else nullcontext()
+                ) as cap:
+                    result = run_experiment(
+                        exp_id,
+                        quick=args.quick,
+                        seed=args.seed,
+                        timeout=args.timeout,
+                        retries=args.retries,
+                        cache=cache,
+                        pool=pool,
+                    )
+                if cap is not None:
+                    snaps.append(cap.snapshot())
+                    events.extend(cap.events)
             except ReproError as exc:
                 elapsed = time.perf_counter() - start
                 failure = {
@@ -432,6 +504,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if pool is not None:
             pool.close()
+    if collect:
+        _write_obs(args, snaps, events)
     if failures:
         print(render_failures(failures), file=sys.stderr)
         return 1

@@ -95,8 +95,8 @@ def run_robustness(
                     "ops": stats.ops_completed,
                     "retained": round(stats.ops_completed / base, 3),
                     "abort_rate": round(stats.abort_rate, 3),
-                    "spurious": stats.fault_counters.get("spurious_aborts", 0),
-                    "faults": sum(stats.fault_counters.values()),
+                    "spurious": stats.fault_counts().get("spurious_aborts", 0),
+                    "faults": sum(stats.fault_counts().values()),
                 }
             )
     return rows

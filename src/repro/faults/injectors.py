@@ -108,8 +108,8 @@ class FaultInjector(NullInjector):
             )
 
     def _count(self, key: str, n: int = 1) -> None:
-        counters = self.machine.stats.fault_counters
-        counters[key] = counters.get(key, 0) + n
+        self.machine.stats.registry.counter("fault_" + key).inc(n)
+        self.machine.emit("fault_injected", -1, fault=key, n=n)
 
     # -- transaction lifecycle -------------------------------------------
     def on_begin_tx(self, mem: "CoreMemSystem") -> None:

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.requestor_wins import optimal_requestor_wins
 from repro.errors import InvalidParameterError
 from repro.htm.params import MachineParams
+from repro.obs.metrics import get_registry
 
 __all__ = [
     "ConflictContext",
@@ -183,6 +184,7 @@ class RRWMeanDelay(CyclePolicy):
         key = (B, ctx.chain_k)
         policy = self._cache.get(key)
         if policy is None:
+            get_registry().counter("policy_builds").inc()
             policy = optimal_requestor_wins(float(B), ctx.chain_k, self.mu_cycles)
             self._cache[key] = policy
         return int(policy.sample(rng))
@@ -222,6 +224,7 @@ class RequestorAbortsDelay(CyclePolicy):
         key = (B, ctx.chain_k)
         policy = self._cache.get(key)
         if policy is None:
+            get_registry().counter("policy_builds").inc()
             policy = optimal_requestor_aborts(
                 float(B), ctx.chain_k, self.mu_cycles
             )
@@ -256,7 +259,9 @@ class HybridDelay(CyclePolicy):
 
     def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
         if self.resolution(ctx) == "requestor_aborts":
+            get_registry().counter("hybrid_ra_choices").inc()
             return self._ra.decide(ctx, rng)
+        get_registry().counter("hybrid_rw_choices").inc()
         if self._rw is not None:
             return self._rw.decide(ctx, rng)
         # unconstrained requestor-wins optimum
@@ -266,6 +271,7 @@ class HybridDelay(CyclePolicy):
         key = (B, ctx.chain_k)
         policy = self._rw_plain_cache.get(key)
         if policy is None:
+            get_registry().counter("policy_builds").inc()
             policy = optimal_requestor_wins(float(B), ctx.chain_k)
             self._rw_plain_cache[key] = policy
         return int(policy.sample(rng))

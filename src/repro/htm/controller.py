@@ -35,6 +35,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["AbortReason", "CoreMemSystem", "PendingProbe"]
 
+#: Power-of-two bucket edges for the grace-delay histogram.  Fixed at
+#: import time so every run (and every parallel worker) buckets
+#: identically — a requirement of the snapshot-merge determinism
+#: contract (docs/OBSERVABILITY.md).  Zero delays land in underflow.
+GRACE_DELAY_EDGES = tuple(float(2**i) for i in range(16))
+
 
 class AbortReason(enum.Enum):
     """Why a transaction died (stats keys)."""
@@ -88,6 +94,19 @@ class CoreMemSystem:
 
         # stats
         self.stats = machine.stats.core(core_id)
+        # metric handles, bound once: registry.reset() zeroes in place,
+        # so these survive the warmup counter reset
+        metrics = machine.metrics
+        self._m_txns_started = metrics.counter("txns_started")
+        self._m_commits = metrics.counter("commits")
+        self._m_aborts_rw = metrics.counter("aborts_rw")
+        self._m_aborts_ra = metrics.counter("aborts_ra")
+        self._m_conflicts = metrics.counter("conflicts")
+        self._m_grace_granted = metrics.counter("grace_granted")
+        self._m_grace_expired = metrics.counter("grace_expired")
+        self._m_grace_delay = metrics.histogram(
+            "grace_delay_cycles", edges=GRACE_DELAY_EDGES
+        )
 
     # ------------------------------------------------------------------
     # Transaction lifecycle (driven by the core)
@@ -102,6 +121,8 @@ class CoreMemSystem:
         self.write_buffer = {}
         self._abort_cb = abort_cb
         self.stats.tx_started += 1
+        self._m_txns_started.inc()
+        self.machine.emit("txn_begin", self.core_id)
         self.machine.faults.on_begin_tx(self)
         return self.tx_epoch
 
@@ -157,6 +178,7 @@ class CoreMemSystem:
         self._cancel_grace()
         self.machine.faults.on_end_tx(self)
         self.stats.tx_committed += 1
+        self._m_commits.inc()
         duration = self.sim.now - self.tx_start
         if self.machine.commit_observers:
             # µ-estimator noise perturbs what the online profiler sees
@@ -164,10 +186,7 @@ class CoreMemSystem:
             observed = self.machine.faults.noisy_commit_duration(duration)
             for observer in self.machine.commit_observers:
                 observer(observed)
-        if self.machine.tracer.enabled:
-            self.machine.tracer.emit(
-                self.sim.now, "commit", self.core_id, duration=duration
-            )
+        self.machine.emit("commit", self.core_id, duration=duration)
         self._release_probes(aborting=False)
         self.sim.after(self.params.commit_cycles, done, label="commit")
 
@@ -187,14 +206,17 @@ class CoreMemSystem:
         self.stats.abort_reasons[reason.value] = (
             self.stats.abort_reasons.get(reason.value, 0) + 1
         )
-        if self.machine.tracer.enabled:
-            self.machine.tracer.emit(
-                self.sim.now,
-                "abort",
-                self.core_id,
-                reason=reason.value,
-                age=self.tx_age(),
-            )
+        # NACKED is the one requestor-aborts death; everything else
+        # (timeouts, capacity, cycles, spurious, ...) counts as the
+        # requestor-wins family for the lifecycle invariant
+        # aborts_rw + aborts_ra + commits == txns_started
+        if reason is AbortReason.NACKED:
+            self._m_aborts_ra.inc()
+        else:
+            self._m_aborts_rw.inc()
+        self.machine.emit(
+            "abort", self.core_id, reason=reason.value, age=self.tx_age()
+        )
         self._release_probes(aborting=True)
         cb = self._abort_cb
         self._abort_cb = None
@@ -402,6 +424,7 @@ class CoreMemSystem:
 
         # --- the transactional conflict problem, live ---
         self.stats.conflicts_received += 1
+        self._m_conflicts.inc()
         if self.machine.wedge_aware and self._is_wedged(line, entry):
             # The contested line is in our write set but not yet owned:
             # we cannot acquire it while the requestor's GETX is in
@@ -436,26 +459,29 @@ class CoreMemSystem:
             )
             delay = int(self.policy.decide(ctx, self.rng))
             self.stats.grace_delay_stats.add(float(delay))
+            self._m_grace_delay.observe(float(delay))
             # which side dies when the grace expires: hybrid policies
             # may resolve requestor-aborts for small chains
             mode = getattr(self.policy, "resolution", "requestor_wins")
             if callable(mode):
                 mode = mode(ctx)
             self._grace_mode = mode
-            if self.machine.tracer.enabled:
-                self.machine.tracer.emit(
-                    self.sim.now,
-                    "conflict",
-                    self.core_id,
-                    line=line,
-                    requestor=requestor,
-                    k=ctx.chain_k,
-                    delay=delay,
-                    mode=mode,
-                )
+            self.machine.emit(
+                "conflict",
+                self.core_id,
+                line=line,
+                requestor=requestor,
+                k=ctx.chain_k,
+                delay=delay,
+                mode=mode,
+            )
             if delay <= 0:
                 self._resolve_conflict(mode)
                 return
+            self._m_grace_granted.inc()
+            self.machine.emit(
+                "grace_granted", self.core_id, delay=delay, mode=mode
+            )
             self._grace_event = self.sim.after(
                 delay, self._grace_expired, self.tx_epoch, label="grace"
             )
@@ -493,6 +519,11 @@ class CoreMemSystem:
     def _grace_expired(self, epoch: int) -> None:
         self._grace_event = None
         if self.tx_active and self.tx_epoch == epoch:
+            # counted only when the timer actually resolves a live
+            # transaction — commits/aborts cancel their timers, which is
+            # why grace_granted >= grace_expired is an invariant
+            self._m_grace_expired.inc()
+            self.machine.emit("grace_expired", self.core_id)
             self._resolve_conflict(self._grace_mode, timeout=True)
 
     def _resolve_conflict(self, mode: str, *, timeout: bool = False) -> None:
@@ -528,6 +559,14 @@ class CoreMemSystem:
             # worth of cycles to commit, then the receiver yields.
             backstop = self.tx_age() + self.params.abort_overhead
             self._grace_mode = "requestor_wins"
+            self._m_grace_granted.inc()
+            self.machine.emit(
+                "grace_granted",
+                self.core_id,
+                delay=max(backstop, 1),
+                mode="requestor_wins",
+                backstop=True,
+            )
             self._grace_event = self.sim.after(
                 max(backstop, 1),
                 self._grace_expired,

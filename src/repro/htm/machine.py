@@ -21,6 +21,8 @@ from repro.htm.controller import AbortReason, CoreMemSystem
 from repro.htm.directory import Directory
 from repro.htm.params import MachineParams
 from repro.htm.stats import MachineStats
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracebus as obs_trace
 from repro.rngutil import spawn_streams
 from repro.sim.engine import Simulator
 
@@ -62,7 +64,19 @@ class Machine:
         self.fault_plan = faults
         self.faults = injector_for(faults)
         self.memory: dict[int, int] = {}
-        self.stats = MachineStats(params.n_cores)
+        # observability: an always-on machine-local metrics registry.
+        # When a process-wide capture is active (repro.obs.capture /
+        # the CLI's --metrics-out), instruments chain to it so every
+        # increment lands in both; otherwise the parent is None and the
+        # local add is the whole cost.
+        parent = obs_metrics.get_registry()
+        self.metrics = obs_metrics.MetricsRegistry(
+            parent=parent if parent.enabled else None
+        )
+        self.bus = obs_trace.get_bus()
+        self.stats = MachineStats(params.n_cores, registry=self.metrics)
+        # optional repro.obs.PhaseProfiler (see attach_profiler)
+        self.profiler = None
         self.detect_cycles = detect_cycles
         # wedge_aware: receivers whose unacquired write set contains the
         # contested line abort immediately (structurally D = inf); see
@@ -94,6 +108,24 @@ class Machine:
             queue_wait_cb=None,  # queue waits counted via queued_behind()
             queue_clear_cb=None,
         )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, core: int = -1, **detail) -> None:
+        """Publish one typed event at the current simulated time to the
+        attached tracer and the process trace bus (both optional; the
+        disabled path is two attribute reads)."""
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, kind, core, **detail)
+        if self.bus.enabled:
+            self.bus.emit(self.sim.now, kind, core, **detail)
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach a :class:`repro.obs.PhaseProfiler`: the kernel routes
+        event firing through it and :meth:`run` times its phases."""
+        self.profiler = profiler
+        self.sim.profiler = profiler
 
     # ------------------------------------------------------------------
     # Memory allocation (workload setup)
@@ -183,20 +215,30 @@ class Machine:
         self.draining = False
         for core in self.cores:
             core.start()
+        prof = self.profiler
+
+        def timed(name):
+            from contextlib import nullcontext
+
+            return prof.phase(name) if prof is not None else nullcontext()
+
         if warmup_cycles > 0.0:
-            self.sim.run(until=warmup_cycles, wall_deadline=deadline)
+            with timed("warmup"):
+                self.sim.run(until=warmup_cycles, wall_deadline=deadline)
             self._reset_counters()
-        self.sim.run(until=horizon_cycles, wall_deadline=deadline)
+        with timed("measure"):
+            self.sim.run(until=horizon_cycles, wall_deadline=deadline)
         self.stats.cycles = horizon_cycles - warmup_cycles
         if drain:
             self.draining = True
             # generous safety horizon: every in-flight op finishes well
             # within this unless the machine is livelocked (a bug)
-            self.sim.run(
-                until=horizon_cycles + max(1e6, horizon_cycles),
-                stop_when=lambda: all(c.idle for c in self.cores),
-                wall_deadline=deadline,
-            )
+            with timed("drain"):
+                self.sim.run(
+                    until=horizon_cycles + max(1e6, horizon_cycles),
+                    stop_when=lambda: all(c.idle for c in self.cores),
+                    wall_deadline=deadline,
+                )
             if not all(c.idle for c in self.cores):
                 raise SimulationError(
                     "drain did not quiesce: in-flight operations survived "
@@ -205,7 +247,10 @@ class Machine:
         return self.stats
 
     def _reset_counters(self) -> None:
-        fresh = MachineStats(self.params.n_cores)
+        # zero the registry in place: controller-held handles keep
+        # pointing at the same instruments after the warmup reset
+        self.metrics.reset()
+        fresh = MachineStats(self.params.n_cores, registry=self.metrics)
         for mem in self.mems:
             mem.stats = fresh.core(mem.core_id)
         for core in self.cores:

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.requestor_wins import optimal_requestor_wins
 from repro.errors import InvalidParameterError
 from repro.htm.conflict_policy import ConflictContext, CyclePolicy
+from repro.obs.metrics import get_registry
 from repro.sim.stats import Welford
 
 __all__ = ["CommitProfiler", "AdaptiveDelay"]
@@ -58,6 +59,18 @@ class CommitProfiler:
     @property
     def n(self) -> int:
         return self.durations.n
+
+    def record(self, event) -> None:
+        """Trace-bus sink: observe commit events straight off the bus.
+
+        Lets a profiler be fed by ``bus.subscribe(profiler)`` instead of
+        the machine's ``commit_observers`` hook — same event schema as
+        every other sink (docs/OBSERVABILITY.md).  Note bus events carry
+        the *true* duration; estimator-noise faults only perturb the
+        commit-observer path.
+        """
+        if event.kind == "commit" and "duration" in event.detail:
+            self.observe_commit(float(event.detail["duration"]))
 
     def mu_estimate(self) -> float:
         """Estimated mean remaining time at conflict (NaN until data)."""
@@ -119,6 +132,7 @@ class AdaptiveDelay(CyclePolicy):
         key = (B, ctx.chain_k)
         policy = self._cache.get(key)
         if policy is None:
+            get_registry().counter("policy_builds").inc()
             policy = optimal_requestor_wins(float(B), ctx.chain_k, mu)
             self._cache[key] = policy
         return int(policy.sample(rng))

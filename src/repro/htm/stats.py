@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.stats import Welford
 
 __all__ = ["CoreStats", "MachineStats"]
@@ -36,18 +38,51 @@ class CoreStats:
 
 
 class MachineStats:
-    """Aggregated machine statistics."""
+    """Aggregated machine statistics.
 
-    def __init__(self, n_cores: int) -> None:
+    ``registry`` is the machine's :class:`~repro.obs.metrics.MetricsRegistry`;
+    injected-fault counts now live there as ``fault_*`` counters
+    (written by :class:`repro.faults.FaultInjector`).  A private
+    registry is created when none is given so standalone construction
+    keeps working.
+    """
+
+    def __init__(
+        self, n_cores: int, registry: MetricsRegistry | None = None
+    ) -> None:
         self._cores = [CoreStats(core_id=i) for i in range(n_cores)]
         self.cycles = 0.0
         self.cycle_aborts = 0
-        # injected-fault event counts (empty without a FaultPlan);
-        # written by repro.faults.FaultInjector
-        self.fault_counters: dict[str, int] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def core(self, core_id: int) -> CoreStats:
         return self._cores[core_id]
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault event counts, keyed as before the registry
+        migration (``spurious_aborts``, ``link_jitter_events``, ...)."""
+        prefix = "fault_"
+        return {
+            name[len(prefix):]: value
+            for name, value in self.registry.counter_values(prefix).items()
+        }
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        """Deprecated alias of :meth:`fault_counts`.
+
+        The dict used to be mutable shared state written by the
+        injector; counts now flow through ``registry`` (``fault_*``
+        counters) and this returns a fresh copy per call.
+        """
+        warnings.warn(
+            "MachineStats.fault_counters is deprecated; use "
+            "MachineStats.fault_counts() or read fault_* counters from "
+            "MachineStats.registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.fault_counts()
 
     @property
     def cores(self) -> list[CoreStats]:
@@ -113,7 +148,7 @@ class MachineStats:
         payload = {
             "cycles": self.cycles,
             "cycle_aborts": self.cycle_aborts,
-            "fault_counters": dict(sorted(self.fault_counters.items())),
+            "fault_counters": dict(sorted(self.fault_counts().items())),
             "cores": [
                 {
                     "core_id": c.core_id,

@@ -33,6 +33,8 @@ import json
 import pathlib
 
 import repro
+from repro.obs.metrics import get_registry
+from repro.obs.tracebus import NO_SIM_TIME, get_bus
 
 __all__ = ["ResultCache", "source_fingerprint", "cache_key"]
 
@@ -137,11 +139,19 @@ class ResultCache:
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
-            return None
+            return self._miss(exp_id)
         rows = payload.get("rows") if isinstance(payload, dict) else None
         if not isinstance(rows, list):
-            return None
+            return self._miss(exp_id)
+        get_registry().counter("cache_hits").inc()
+        get_bus().emit(NO_SIM_TIME, "cache_hit", -1, exp_id=exp_id)
         return rows
+
+    def _miss(self, exp_id: str) -> None:
+        """Count a lookup miss (no-op instruments when obs is off)."""
+        get_registry().counter("cache_misses").inc()
+        get_bus().emit(NO_SIM_TIME, "cache_miss", -1, exp_id=exp_id)
+        return None
 
     def put_rows(
         self,

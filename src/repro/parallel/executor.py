@@ -51,6 +51,9 @@ class ExperimentTask:
     cache_dir: str | None = None
     fingerprint: str | None = None
     overrides: dict = field(default_factory=dict)
+    #: run under a fresh obs capture and ship the metric snapshot +
+    #: trace events back alongside the result
+    collect: bool = False
 
 
 @dataclass
@@ -63,6 +66,10 @@ class ExperimentOutcome:
     error_type: str | None = None
     error: str | None = None
     elapsed_s: float = 0.0
+    #: per-experiment observability (only with ``collect=True``):
+    #: a MetricsRegistry snapshot and the worker's ObsEvent list
+    metrics: dict | None = None
+    events: list | None = None
 
     @property
     def ok(self) -> bool:
@@ -76,7 +83,10 @@ def _worker_entry(conn, task: ExperimentTask) -> None:  # simlint: disable=DET00
     crosses the process boundary as data: the parent turns it back
     into a failure outcome, so nothing is swallowed, merely relocated.
     """
+    from contextlib import nullcontext
+
     from repro.experiments.registry import run_experiment
+    from repro.obs import capture
     from repro.parallel.cache import ResultCache
 
     try:
@@ -85,16 +95,20 @@ def _worker_entry(conn, task: ExperimentTask) -> None:  # simlint: disable=DET00
             if task.cache_dir
             else None
         )
-        result = run_experiment(
-            task.exp_id,
-            quick=task.quick,
-            seed=task.seed,
-            timeout=task.timeout,
-            retries=task.retries,
-            cache=cache,
-            **task.overrides,
-        )
-        payload = ("ok", result)
+        with (capture() if task.collect else nullcontext()) as cap:
+            result = run_experiment(
+                task.exp_id,
+                quick=task.quick,
+                seed=task.seed,
+                timeout=task.timeout,
+                retries=task.retries,
+                cache=cache,
+                **task.overrides,
+            )
+        if cap is not None:
+            payload = ("ok", (result, cap.snapshot(), cap.events))
+        else:
+            payload = ("ok", result)
     except BaseException as exc:  # simlint: disable=ERR002,ERR003 -- process boundary: the parent re-raises this as a failure outcome; a worker must never die silently
         payload = ("failed", (type(exc).__name__, str(exc)))
     try:
@@ -126,6 +140,7 @@ class ParallelExecutor:
         cache_dir: str | None = None,
         fingerprint: str | None = None,
         overrides: dict | None = None,
+        collect: bool = False,
         kill_grace: float = 5.0,
         poll_interval: float = 0.05,
         start_method: str | None = None,
@@ -140,6 +155,7 @@ class ParallelExecutor:
         self.cache_dir = cache_dir
         self.fingerprint = fingerprint
         self.overrides = dict(overrides or {})
+        self.collect = collect
         self.kill_grace = kill_grace
         self.poll_interval = poll_interval
         self._ctx = multiprocessing.get_context(
@@ -157,6 +173,7 @@ class ParallelExecutor:
             cache_dir=self.cache_dir,
             fingerprint=self.fingerprint,
             overrides=self.overrides,
+            collect=self.collect,
         )
 
     def run(
@@ -223,12 +240,17 @@ class ParallelExecutor:
                 conn.close()
                 proc.join()
                 if status == "ok":
+                    metrics = events = None
+                    if self.collect:
+                        payload, metrics, events = payload
                     record(
                         ExperimentOutcome(
                             exp_id,
                             "ok",
                             result=payload,
                             elapsed_s=now - start,
+                            metrics=metrics,
+                            events=events,
                         )
                     )
                 else:

@@ -29,6 +29,7 @@ import multiprocessing
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import InvalidParameterError
+from repro.obs import capture, get_bus, get_registry, obs_active
 
 __all__ = ["ShardPool", "SerialPool", "ProcessPool", "make_pool", "best_start_method"]
 
@@ -74,12 +75,28 @@ class SerialPool(ShardPool):
         return [fn(*task) for task in tasks]
 
 
+def _obs_call(fn: Callable, args: tuple) -> tuple:
+    """Run one task under a fresh capture (worker side of the metered
+    starmap).  Returns ``(result, metrics snapshot, events)`` so the
+    parent can fold observability back in task order."""
+    with capture() as cap:
+        out = fn(*args)
+    return out, cap.snapshot(), cap.events
+
+
 class ProcessPool(ShardPool):
     """Ordered process-backed ``starmap`` (multiprocessing.Pool).
 
     Results come back in task order (``Pool.starmap`` semantics), so a
     sharded reduction that folds them by index is deterministic no
     matter which worker ran which shard.
+
+    When observability is active in the parent (:func:`repro.obs.capture`
+    or an enabled module-level registry/bus), tasks run under a fresh
+    per-worker capture and the collected metric snapshots and trace
+    events are replayed into the parent's registry/bus **in task
+    order** — so ``--jobs`` cannot reorder (or lose) a single count or
+    event relative to the serial pool.
     """
 
     def __init__(self, jobs: int, *, start_method: str | None = None) -> None:
@@ -90,7 +107,20 @@ class ProcessPool(ShardPool):
         self._pool = ctx.Pool(processes=jobs)
 
     def starmap(self, fn: Callable, tasks: Iterable[Sequence]) -> list:
-        return self._pool.starmap(fn, [tuple(t) for t in tasks])
+        task_tuples = [tuple(t) for t in tasks]
+        if not obs_active():
+            return self._pool.starmap(fn, task_tuples)
+        metered = self._pool.starmap(
+            _obs_call, [(fn, t) for t in task_tuples]
+        )
+        registry, bus = get_registry(), get_bus()
+        results = []
+        for out, snap, events in metered:
+            registry.absorb(snap)
+            for event in events:
+                bus.publish(event)
+            results.append(out)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

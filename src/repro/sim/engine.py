@@ -155,6 +155,11 @@ class Simulator:
         # optional per-label event counts (cheap profiling: which
         # component dominates the event stream)
         self._profile: dict[str, int] | None = {} if profile else None
+        # optional repro.obs.profile.PhaseProfiler: when attached,
+        # step() routes handler firing through it (wall-clock handler
+        # timing + loop occupancy).  Pure observation — timings never
+        # feed the simulation, so determinism is untouched.
+        self.profiler = None
 
     # -- scheduling -------------------------------------------------------
     def at(
@@ -201,7 +206,10 @@ class Simulator:
         if self._profile is not None:
             label = event.label or "<unlabeled>"
             self._profile[label] = self._profile.get(label, 0) + 1
-        event.fire()
+        if self.profiler is not None:
+            self.profiler.record_fire(event.label or "<unlabeled>", event.fire)
+        else:
+            event.fire()
         return True
 
     #: Events between wall-clock deadline checks (cheap enough to leave
@@ -234,6 +242,8 @@ class Simulator:
             raise SimulationError("run() is not re-entrant")
         self._running = True
         fired = 0
+        if self.profiler is not None:
+            self.profiler.loop_enter()
         try:
             while True:
                 if stop_when is not None and stop_when():
@@ -259,6 +269,8 @@ class Simulator:
                 fired += 1
         finally:
             self._running = False
+            if self.profiler is not None:
+                self.profiler.loop_exit()
         return self.now
 
     def event_profile(self) -> dict[str, int]:

@@ -6,6 +6,14 @@ machine emits when a tracer is attached.  It exists for debuggability:
 the wedge self-deadlock documented in DESIGN.md §5b.2 was found by
 staring at exactly this kind of timeline.
 
+Since the observability layer landed, the tracer shares one event
+schema with the process-wide trace bus: :class:`TraceEvent` *is*
+:class:`repro.obs.tracebus.ObsEvent`, and a :class:`Tracer` doubles as
+a bus **sink** (it has ``record(event)``), so the same ring buffer can
+be fed by ``machine.tracer = tracer`` or by
+``bus.subscribe(tracer)`` — one vocabulary, two delivery paths
+(docs/OBSERVABILITY.md).
+
 Usage::
 
     tracer = Tracer(capacity=10_000)
@@ -18,33 +26,19 @@ Usage::
 from __future__ import annotations
 
 from collections import Counter, deque
-from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import InvalidParameterError
+from repro.obs.tracebus import ObsEvent as TraceEvent
 
 __all__ = ["TraceEvent", "Tracer", "NullTracer"]
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One timestamped record."""
-
-    time: float
-    kind: str
-    core: int
-    detail: dict = field(default_factory=dict)
-
-    def format(self) -> str:
-        extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
-        return f"[{self.time:>12.1f}] core{self.core:<3d} {self.kind:<18s} {extras}"
 
 
 class Tracer:
     """Bounded ring buffer of :class:`TraceEvent`.
 
     ``kinds`` (optional) restricts recording to a set of event kinds;
-    everything else is dropped at emit time (cheap — one set lookup).
+    everything else is dropped at record time (cheap — one set lookup).
     """
 
     def __init__(
@@ -60,10 +54,14 @@ class Tracer:
 
     # -- emission ---------------------------------------------------------
     def emit(self, time: float, kind: str, core: int, **detail) -> None:
-        if self.kinds is not None and kind not in self.kinds:
+        self.record(TraceEvent(time, kind, core, detail))
+
+    def record(self, event: TraceEvent) -> None:
+        """Bus-sink entry point: filter, then buffer."""
+        if self.kinds is not None and event.kind not in self.kinds:
             self.dropped_by_filter += 1
             return
-        self._events.append(TraceEvent(time, kind, core, detail))
+        self._events.append(event)
         self.emitted += 1
 
     @property
@@ -110,6 +108,9 @@ class NullTracer:
     enabled = False
 
     def emit(self, time: float, kind: str, core: int, **detail) -> None:
+        """Drop everything."""
+
+    def record(self, event: TraceEvent) -> None:
         """Drop everything."""
 
     def events(self, **query) -> list:

@@ -36,6 +36,8 @@ from repro.core.requestor_aborts import optimal_requestor_aborts
 from repro.core.requestor_wins import optimal_requestor_wins
 from repro.distributions.base import LengthDistribution
 from repro.errors import InvalidParameterError
+from repro.obs.metrics import get_registry
+from repro.obs.tracebus import NO_SIM_TIME, get_bus
 from repro.rngutil import DEFAULT_SEED, ensure_rng
 from repro.sim.stats import Welford
 
@@ -194,12 +196,14 @@ class SyntheticHarness:
             )
         if n_shards == 1:
             stats = self._accumulate(dist, trials, ensure_rng(rng), batch)
-            return SyntheticResult(
-                distribution=dist.name,
-                B=self.B,
-                mu=self.mu,
-                trials=trials,
-                stats=stats,
+            return self._observed(
+                SyntheticResult(
+                    distribution=dist.name,
+                    B=self.B,
+                    mu=self.mu,
+                    trials=trials,
+                    stats=stats,
+                )
             )
         if isinstance(rng, np.random.Generator):
             raise InvalidParameterError(
@@ -226,16 +230,44 @@ class SyntheticHarness:
         else:
             shard_stats = pool.starmap(_shard_worker, tasks)
         labels = [entry.label for entry in self.policies]
-        return SyntheticResult(
-            distribution=dist.name,
-            B=self.B,
-            mu=self.mu,
-            trials=trials,
-            stats={
-                label: Welford.merge_all(s[label] for s in shard_stats)
-                for label in labels
-            },
+        return self._observed(
+            SyntheticResult(
+                distribution=dist.name,
+                B=self.B,
+                mu=self.mu,
+                trials=trials,
+                stats={
+                    label: Welford.merge_all(s[label] for s in shard_stats)
+                    for label in labels
+                },
+            )
         )
+
+    def _observed(self, result: SyntheticResult) -> SyntheticResult:
+        """Publish one ``synthetic_run`` record per finished run.
+
+        Emitted once in the *calling* process after any shard merge, so
+        the counter and event stream are invariant to sharding and pool
+        choice.  No-ops when observability is off.
+        """
+        registry, bus = get_registry(), get_bus()
+        if registry.enabled:
+            registry.counter("synthetic_runs").inc()
+            registry.counter("synthetic_trials").inc(result.trials)
+        if bus.enabled:
+            bus.emit(
+                NO_SIM_TIME,
+                "synthetic_run",
+                -1,
+                distribution=result.distribution,
+                trials=result.trials,
+                B=result.B,
+                mu=result.mu,
+                means={
+                    label: acc.mean for label, acc in result.stats.items()
+                },
+            )
+        return result
 
     def _accumulate(
         self,

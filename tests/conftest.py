@@ -35,6 +35,16 @@ def ra_model() -> ConflictModel:
     return ConflictModel(ConflictKind.REQUESTOR_ABORTS, 100.0, 2)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.jsonl from the current code "
+        "(review the diff like any source change)",
+    )
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running integration test"

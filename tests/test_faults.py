@@ -135,7 +135,7 @@ class TestDeterminism:
         _, a = _run(FULL_PLAN)
         _, b = _run(FULL_PLAN)
         assert a.digest() == b.digest()
-        assert a.fault_counters == b.fault_counters
+        assert a.fault_counts() == b.fault_counts()
 
     def test_active_plan_changes_execution(self):
         _, clean = _run(None)
@@ -159,7 +159,7 @@ class TestInjectorEffects:
             "core_stalls",
             "noisy_estimates",
         ):
-            assert stats.fault_counters.get(key, 0) > 0, key
+            assert stats.fault_counts().get(key, 0) > 0, key
 
     def test_spurious_reason_recorded(self):
         _, stats = _run(FaultPlan(spurious_abort_rate=2e-3))
@@ -167,18 +167,18 @@ class TestInjectorEffects:
         assert reasons.get(AbortReason.SPURIOUS.value, 0) > 0
         assert (
             reasons[AbortReason.SPURIOUS.value]
-            == stats.fault_counters["spurious_aborts"]
+            == stats.fault_counts()["spurious_aborts"]
         )
 
     def test_clean_run_has_no_fault_counters(self):
         _, stats = _run(None)
-        assert stats.fault_counters == {}
+        assert stats.fault_counts() == {}
 
     def test_reserved_ways_restored_after_drain(self):
         machine, stats = _run(
             FaultPlan(capacity_shrink_prob=0.5, capacity_ways_lost=3)
         )
-        assert stats.fault_counters["capacity_shrinks"] > 0
+        assert stats.fault_counts()["capacity_shrinks"] > 0
         # the drain quiesced every transaction, so all pressure is gone
         assert all(m.cache.reserved_ways == 0 for m in machine.mems)
 

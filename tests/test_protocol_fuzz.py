@@ -147,4 +147,4 @@ def test_random_machine_with_faults(seed):
     machine.check_invariants()
     assert machine._waits == {}, "waits-for edges leaked"
     assert stats.ops_completed > 0
-    assert sum(stats.fault_counters.values()) > 0, plan.describe()
+    assert sum(stats.fault_counts().values()) > 0, plan.describe()

@@ -24,7 +24,7 @@ def violation_tree(tmp_path):
     (pkg / "bad.py").write_text(
         "import random\n"
         "for x in {1, 2}:\n"
-        "    print(x)\n"
+        "    consume(x)\n"
     )
     return tmp_path
 

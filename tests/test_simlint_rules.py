@@ -189,11 +189,11 @@ class TestWorkerSeed:
 # ---------------------------------------------------------------------------
 class TestOrdering:
     def test_for_over_set_literal_flagged(self):
-        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        src = "for x in {1, 2, 3}:\n    consume(x)\n"
         assert hits(src) == ["ORD001"]
 
     def test_for_over_set_local_flagged(self):
-        src = "s = set([3, 1])\nfor x in s:\n    print(x)\n"
+        src = "s = set([3, 1])\nfor x in s:\n    consume(x)\n"
         assert hits(src) == ["ORD001"]
 
     def test_comprehension_over_set_flagged(self):
@@ -210,12 +210,12 @@ class TestOrdering:
             "    return {1, 2}\n"
             "def f():\n"
             "    for h in holders():\n"
-            "        print(h)\n"
+            "        consume(h)\n"
         )
         assert hits(src) == ["ORD001"]
 
     def test_sorted_iteration_clean(self):
-        src = "s = {1, 2}\nfor x in sorted(s):\n    print(x)\n"
+        src = "s = {1, 2}\nfor x in sorted(s):\n    consume(x)\n"
         assert hits(src) == []
 
     def test_membership_and_len_clean(self):
@@ -228,7 +228,7 @@ class TestOrdering:
         assert hits(src) == []
 
     def test_list_iteration_clean(self):
-        src = "xs = [1, 2]\nfor x in xs:\n    print(x)\n"
+        src = "xs = [1, 2]\nfor x in xs:\n    consume(x)\n"
         assert hits(src) == []
 
     def test_set_pop_flagged(self):
@@ -243,12 +243,12 @@ class TestOrdering:
         src = (
             "s = {1, 2}\n"
             "for x in s:  # simlint: disable=ORD001 -- order-free fold\n"
-            "    print(x)\n"
+            "    consume(x)\n"
         )
         assert hits(src) == []
 
     def test_reassignment_clears_tracking(self):
-        src = "s = {1, 2}\ns = [1, 2]\nfor x in s:\n    print(x)\n"
+        src = "s = {1, 2}\ns = [1, 2]\nfor x in s:\n    consume(x)\n"
         assert hits(src) == []
 
 
@@ -468,6 +468,50 @@ class TestContracts:
 
 
 # ---------------------------------------------------------------------------
+# OBS001 — print/logging in sim-critical code
+# ---------------------------------------------------------------------------
+class TestPrintLogging:
+    def test_print_flagged_in_sim_code(self):
+        src = "def f(x):\n    print(x)\n"
+        assert hits(src) == ["OBS001"]
+
+    def test_logging_import_and_call_flagged(self):
+        src = (
+            "import logging\n"
+            "logger = logging.getLogger(__name__)\n"
+            "def f():\n"
+            "    logger.info('hi')\n"
+        )
+        assert hits(src) == ["OBS001", "OBS001", "OBS001"]
+
+    def test_unscoped_file_not_flagged(self):
+        src = "def f(x):\n    print(x)\n"
+        assert hits(src, path=UNSCOPED_PATH) == []
+
+    def test_math_log_clean(self):
+        src = "import math\n\ndef f(x):\n    return math.log(x)\n"
+        assert hits(src) == []
+
+    def test_bus_emission_clean(self):
+        src = (
+            "def f(bus, registry, now):\n"
+            "    registry.counter('commits').inc()\n"
+            "    bus.emit(now, 'commit', 0)\n"
+        )
+        assert hits(src) == []
+
+    def test_obs_suppression(self):
+        src = (
+            "def f(x):\n"
+            "    print(x)  # simlint: disable=OBS001 -- debug aid\n"
+        )
+        assert hits(src) == []
+        (sup,) = suppressed(src)
+        assert sup.finding.rule == "OBS001"
+        assert sup.reason == "debug aid"
+
+
+# ---------------------------------------------------------------------------
 # engine behaviors
 # ---------------------------------------------------------------------------
 class TestEngine:
@@ -501,7 +545,7 @@ class TestEngine:
         assert hits(src, select=["ORD"]) == ["ORD001"]
 
     def test_ignore_family(self):
-        src = "import random\nfor x in {1, 2}:\n    print(x)\n"
+        src = "import random\nfor x in {1, 2}:\n    consume(x)\n"
         result = lint_sources({SIM_PATH: src}, ignore=["ORD"])
         assert [f.rule for f in result.findings] == ["DET002"]
 
