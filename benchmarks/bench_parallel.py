@@ -27,6 +27,11 @@ import time
 from repro.experiments import run_experiment
 from repro.parallel import ParallelExecutor
 
+try:  # package import (tests) or sibling import (standalone script)
+    from benchmarks import schema as bench_schema
+except ImportError:  # pragma: no cover - script-mode fallback
+    import schema as bench_schema  # type: ignore[no-redef]
+
 #: Seed used by every benchmark so tables are identical run-to-run.
 BENCH_SEED = 2018
 
@@ -104,7 +109,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     payload = run_bench(jobs=args.jobs, trials=args.trials)
     payload["generated_by"] = "benchmarks/bench_parallel.py"
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    bench_schema.dump_payload(payload, "parallel", args.out)
     print(json.dumps(payload, indent=2))
     if not payload["rows_identical"]:
         print("ERROR: serial and parallel rows differ", file=sys.stderr)

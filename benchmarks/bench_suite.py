@@ -1,0 +1,352 @@
+"""Unified core benchmark suite — one entry point, one artifact.
+
+``python benchmarks/bench_suite.py`` (with ``PYTHONPATH=src``) runs the
+named core benches — the vectorized policy kernels against their scalar
+reference paths, the theorem-verification table, and the DES event
+loop — and writes a schema-validated ``BENCH_core.json`` to the repo
+root.  Grid-shaped benches time both the batched kernel and the
+per-cell scalar path it replaced, so the recorded ``speedup`` field is
+the living evidence for the vectorization claims in
+``docs/PERFORMANCE.md``.
+
+CI modes::
+
+    bench_suite.py --quick --update-baseline   # refresh BENCH_core.json
+    bench_suite.py --quick --check-against BENCH_core.json
+
+The check mode re-runs the suite and fails (exit 1) only when a bench's
+wall clock regressed by more than ``--threshold`` (default 2.0x) versus
+the committed baseline — wide enough to absorb runner jitter, tight
+enough to catch a vectorized path silently falling back to scalar work.
+``ops`` counts (grid cells evaluated, events fired) are
+machine-independent and must match the baseline exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import platform
+import statistics
+import sys
+import time
+
+import numpy as np
+
+try:  # package import (tests) or sibling import (standalone script)
+    from benchmarks import schema as bench_schema
+except ImportError:  # pragma: no cover - script-mode fallback
+    import schema as bench_schema  # type: ignore[no-redef]
+
+from repro.core import kernels, ratios, ski_rental
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.requestor_wins import UniformRW
+from repro.core.verify import expected_cost
+from repro.experiments.tables import run_tab_ratios
+from repro.sim.engine import Simulator
+
+#: Seed recorded in the payload; the suite itself is deterministic.
+BENCH_SEED = 2018
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Wall-clock regression gate: fail only past this slowdown factor.
+DEFAULT_THRESHOLD = 2.0
+
+
+def _median_time(fn, repeats: int) -> float:
+    """Median-of-``repeats`` wall clock of ``fn()`` in seconds."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+# ---------------------------------------------------------------------------
+# named benches: each returns a schema-shaped entry dict
+# ---------------------------------------------------------------------------
+
+
+def bench_regimes_theory_grid(quick: bool, repeats: int) -> dict:
+    """Regime-boundary theory bounds over a (B, µ) grid.
+
+    Kernel path: two batched :func:`kernels.rw_best_ratio` /
+    :func:`kernels.ra_best_ratio` calls.  Scalar path: the per-cell
+    regime dispatch through :mod:`repro.core.ratios` that the regimes
+    experiment used before vectorization.
+    """
+    n = 512 if quick else 4096
+    mu = 500.0
+    Bs = mu * np.linspace(0.25, 8.0, n)
+    ks = np.full(n, 2, dtype=int)
+
+    def kernel_path():
+        kernels.rw_best_ratio(Bs, mu, ks)
+        kernels.ra_best_ratio(Bs, mu, ks)
+
+    def scalar_path():
+        for B in Bs:
+            b = float(B)
+            if mu / b < ratios.rw_mean_regime_threshold(2):
+                ratios.constrained_rw_ratio(b, mu, 2)
+            else:
+                ratios.rand_rw_optimal_ratio(2)
+            if mu / b < ratios.ra_mean_regime_threshold(2):
+                ratios.constrained_ra_ratio(b, mu, 2)
+            else:
+                ratios.rand_ra_ratio(2)
+
+    median_s = _median_time(kernel_path, repeats)
+    baseline_s = _median_time(scalar_path, max(1, repeats // 3))
+    return {
+        "median_s": round(median_s, 6),
+        "repeats": repeats,
+        "ops": 2 * n,
+        "baseline_s": round(baseline_s, 6),
+        "speedup": round(baseline_s / max(median_s, 1e-12), 2),
+    }
+
+
+def bench_fig2_expectation_row(quick: bool, repeats: int) -> dict:
+    """Expected-cost curve of the uniform RW policy over a D row.
+
+    Kernel path: one :func:`kernels.expected_cost_grid` call (one
+    quadrature shared by the whole row).  Scalar path: per-point
+    :func:`repro.core.verify.expected_cost`, which rebuilds the full
+    8193-point quadrature for every D — the shape of work the fig2 /
+    verify consumers issued before the batched engine existed.
+    """
+    n = 64 if quick else 512
+    B, k = 2000.0, 2
+    d = np.linspace(10.0, 4.0 * B, n)
+
+    def kernel_path():
+        kernels.expected_cost_grid(
+            ConflictKind.REQUESTOR_WINS, "uniform_rw", B, k, d
+        )
+
+    policy = UniformRW(B)
+    model = ConflictModel(ConflictKind.REQUESTOR_WINS, B=B, k=k)
+
+    def scalar_path():
+        for di in d:
+            expected_cost(policy, model, float(di))
+
+    median_s = _median_time(kernel_path, repeats)
+    baseline_s = _median_time(scalar_path, max(1, repeats // 3))
+    return {
+        "median_s": round(median_s, 6),
+        "repeats": repeats,
+        "ops": n,
+        "baseline_s": round(baseline_s, 6),
+        "speedup": round(baseline_s / max(median_s, 1e-12), 2),
+    }
+
+
+def bench_ski_rental_grid(quick: bool, repeats: int) -> dict:
+    """Randomized ski-rental expectation over a (B, days) grid.
+
+    Kernel path hoists the Karlin pmf per unique B; scalar path calls
+    :func:`repro.core.ski_rental.expected_cost_randomized` per cell.
+    """
+    n_days = 64 if quick else 256
+    B_vals = (8, 32, 128)
+    Bs = np.repeat(B_vals, n_days)
+    days = np.tile(np.arange(1, n_days + 1), len(B_vals))
+
+    def kernel_path():
+        kernels.ski_expected_cost_randomized(Bs, days)
+
+    def scalar_path():
+        for b, d in zip(Bs, days):
+            ski_rental.expected_cost_randomized(int(b), int(d))
+
+    median_s = _median_time(kernel_path, repeats)
+    baseline_s = _median_time(scalar_path, max(1, repeats // 3))
+    return {
+        "median_s": round(median_s, 6),
+        "repeats": repeats,
+        "ops": int(Bs.size),
+        "baseline_s": round(baseline_s, 6),
+        "speedup": round(baseline_s / max(median_s, 1e-12), 2),
+    }
+
+
+def bench_tab_ratios(quick: bool, repeats: int) -> dict:
+    """End-to-end theorem-verification table (kernel-backed path only:
+    the sup-ratio adversary search over the whole (B, k) grid)."""
+    kwargs = (
+        dict(B_values=(200.0,), k_values=(2, 4), grid=512)
+        if quick
+        else dict(B_values=(50.0, 200.0), k_values=(2, 4), grid=2048)
+    )
+    n_rows = len(run_tab_ratios(**kwargs))
+    median_s = _median_time(lambda: run_tab_ratios(**kwargs), repeats)
+    return {
+        "median_s": round(median_s, 6),
+        "repeats": repeats,
+        "ops": n_rows,
+    }
+
+
+def bench_des_event_loop(quick: bool, repeats: int) -> dict:
+    """DES hot path: a self-rescheduling handler chain through the
+    slotted event records and the hoisted run loop.  ``ops`` is the
+    exact number of events fired — machine-independent by contract."""
+    n_events = 20_000 if quick else 200_000
+
+    def run_chain():
+        sim = Simulator()
+
+        def tick():
+            if sim.events_fired < n_events:
+                sim.after(1.0, tick, label="tick")
+
+        sim.after(0.0, tick, label="tick")
+        sim.run()
+        if sim.events_fired != n_events:
+            raise RuntimeError(
+                f"DES bench fired {sim.events_fired}, expected {n_events}"
+            )
+
+    median_s = _median_time(run_chain, repeats)
+    return {
+        "median_s": round(median_s, 6),
+        "repeats": repeats,
+        "ops": n_events,
+    }
+
+
+#: Registry: name -> callable(quick, repeats) -> entry dict.
+BENCHES = {
+    "regimes_theory_grid": bench_regimes_theory_grid,
+    "fig2_expectation_row": bench_fig2_expectation_row,
+    "ski_rental_grid": bench_ski_rental_grid,
+    "tab_ratios": bench_tab_ratios,
+    "des_event_loop": bench_des_event_loop,
+}
+
+
+def run_suite(*, quick: bool, repeats: int = 5) -> dict:
+    """Run every named bench; return the schema-shaped payload."""
+    benches = {}
+    for name, fn in BENCHES.items():
+        benches[name] = fn(quick, repeats)
+        print(f"  {name}: {json.dumps(benches[name])}", file=sys.stderr)
+    payload = {
+        "schema_version": 1,
+        "suite": "core",
+        "generated_by": "benchmarks/bench_suite.py",
+        "quick": quick,
+        "seed": BENCH_SEED,
+        "python": platform.python_version(),
+        "cpu_count": multiprocessing.cpu_count(),
+        "benches": benches,
+    }
+    return bench_schema.validate_core_payload(payload)
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regression check; returns a list of failure messages (empty = pass).
+
+    Wall clock fails only past ``threshold``x the committed baseline
+    (absorbs runner variance); ``ops`` counts must match exactly; a
+    bench missing from the current run fails (a silently dropped bench
+    is how a regression hides).
+    """
+    bench_schema.validate_core_payload(baseline)
+    bench_schema.validate_core_payload(current)
+    failures = []
+    for name, base in baseline["benches"].items():
+        cur = current["benches"].get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but not in this run")
+            continue
+        if "ops" in base and cur.get("ops") != base["ops"]:
+            failures.append(
+                f"{name}: ops changed {base['ops']} -> {cur.get('ops')} "
+                f"(work count must be updated with --update-baseline)"
+            )
+        base_s = base["median_s"]
+        if base_s > 0 and cur["median_s"] > threshold * base_s:
+            failures.append(
+                f"{name}: median {cur['median_s']:.6f}s is "
+                f"{cur['median_s'] / base_s:.2f}x the baseline "
+                f"{base_s:.6f}s (threshold {threshold:.1f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized grids (the committed baseline is quick-mode)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing repeats per bench; the median is recorded",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write the payload to this path (schema-validated)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the payload to the committed BENCH_core.json",
+    )
+    parser.add_argument(
+        "--check-against",
+        type=pathlib.Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed BENCH_core.json; exit 1 on "
+        "a wall-clock regression beyond --threshold or an ops mismatch",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="slowdown factor that fails the check (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_suite(quick=args.quick, repeats=args.repeats)
+    print(json.dumps(payload, indent=2))
+
+    out = args.out
+    if args.update_baseline:
+        out = _REPO_ROOT / "BENCH_core.json"
+    if out is not None:
+        bench_schema.dump_payload(payload, "core", out)
+        print(f"wrote {out}", file=sys.stderr)
+
+    if args.check_against is not None:
+        baseline = json.loads(args.check_against.read_text())
+        failures = compare_to_baseline(payload, baseline, args.threshold)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"bench gate passed: no bench beyond {args.threshold:.1f}x "
+            f"of {args.check_against}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Shared schema for committed bench artifacts.
+
+Both standalone bench harnesses (``bench_parallel.py`` →
+``BENCH_parallel.json``, ``bench_suite.py`` → ``BENCH_core.json``)
+validate their payload against this module **at write time**, so a
+malformed artifact fails the producing run loudly instead of silently
+skewing the perf trajectory or the CI regression gate.
+
+No external dependency: a field spec is ``(types, required,
+predicate)`` and validation is a plain recursive walk.  The same specs
+double as the *read*-side check in the CI bench gate and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+__all__ = [
+    "BenchSchemaError",
+    "validate_bench_entry",
+    "validate_core_payload",
+    "validate_parallel_payload",
+    "validate_payload",
+    "dump_payload",
+]
+
+
+class BenchSchemaError(ValueError):
+    """A bench payload does not match its declared schema."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise BenchSchemaError(f"{path}: {message}")
+
+
+def _is_finite_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def _check_fields(obj: dict, spec: dict, path: str) -> None:
+    """``spec`` maps field name -> (types, required, predicate|None)."""
+    if not isinstance(obj, dict):
+        _fail(path, f"expected an object, got {type(obj).__name__}")
+    for name, (types, required, predicate) in spec.items():
+        if name not in obj:
+            if required:
+                _fail(path, f"missing required field {name!r}")
+            continue
+        value = obj[name]
+        if not isinstance(value, types) or isinstance(value, bool) != (
+            types is bool or (isinstance(types, tuple) and bool in types)
+        ):
+            _fail(
+                path,
+                f"field {name!r} has type {type(value).__name__}, "
+                f"expected {types}",
+            )
+        if predicate is not None and not predicate(value):
+            _fail(path, f"field {name!r} value {value!r} fails its constraint")
+    unknown = set(obj) - set(spec)
+    if unknown:
+        _fail(path, f"unknown fields {sorted(unknown)}")
+
+
+#: One named bench inside ``BENCH_core.json``.  ``median_s`` is the
+#: median-of-repeats wall clock of the kernel path; ``ops`` is a
+#: machine-independent work count (grid cells, events fired);
+#: ``baseline_s``/``speedup`` are present when a scalar reference path
+#: was timed alongside.
+_ENTRY_SPEC = {
+    "median_s": ((int, float), True, lambda v: _is_finite_number(v) and v >= 0),
+    "repeats": (int, True, lambda v: v >= 1),
+    "ops": (int, False, lambda v: v >= 0),
+    "baseline_s": (
+        (int, float),
+        False,
+        lambda v: _is_finite_number(v) and v >= 0,
+    ),
+    "speedup": ((int, float), False, _is_finite_number),
+}
+
+_CORE_SPEC = {
+    "schema_version": (int, True, lambda v: v == 1),
+    "suite": (str, True, lambda v: v == "core"),
+    "generated_by": (str, True, None),
+    "quick": (bool, True, None),
+    "seed": (int, True, None),
+    "python": (str, True, None),
+    "cpu_count": (int, True, lambda v: v >= 1),
+    "benches": (dict, True, lambda v: len(v) > 0),
+}
+
+_PARALLEL_SPEC = {
+    "experiments": (list, True, lambda v: all(isinstance(e, str) for e in v)),
+    "quick": (bool, True, None),
+    "seed": (int, True, None),
+    "trials": (int, True, lambda v: v >= 1),
+    "jobs": (int, True, lambda v: v >= 1),
+    "cpu_count": (int, True, lambda v: v >= 1),
+    "serial_s": ((int, float), True, _is_finite_number),
+    "parallel_s": ((int, float), True, _is_finite_number),
+    "speedup": ((int, float), True, _is_finite_number),
+    "rows_identical": (bool, True, None),
+    "generated_by": (str, True, None),
+}
+
+
+def validate_bench_entry(name: str, entry: dict) -> None:
+    if not name or not isinstance(name, str):
+        _fail("benches", f"bench name must be a non-empty string, got {name!r}")
+    _check_fields(entry, _ENTRY_SPEC, f"benches[{name!r}]")
+    baseline = entry.get("baseline_s")
+    speedup = entry.get("speedup")
+    if (baseline is None) != (speedup is None):
+        _fail(
+            f"benches[{name!r}]",
+            "baseline_s and speedup must be present together",
+        )
+
+
+def validate_core_payload(payload: dict) -> dict:
+    """Validate a ``BENCH_core.json`` payload; returns it unchanged."""
+    _check_fields(payload, _CORE_SPEC, "payload")
+    for name, entry in payload["benches"].items():
+        validate_bench_entry(name, entry)
+    return payload
+
+
+def validate_parallel_payload(payload: dict) -> dict:
+    """Validate a ``BENCH_parallel.json`` payload; returns it unchanged."""
+    _check_fields(payload, _PARALLEL_SPEC, "payload")
+    return payload
+
+
+def validate_payload(payload: dict, kind: str) -> dict:
+    """Validate by artifact kind: ``"core"`` or ``"parallel"``."""
+    if kind == "core":
+        return validate_core_payload(payload)
+    if kind == "parallel":
+        return validate_parallel_payload(payload)
+    raise BenchSchemaError(f"unknown bench artifact kind {kind!r}")
+
+
+def dump_payload(payload: dict, kind: str, out: pathlib.Path) -> None:
+    """Validate then write the canonical JSON rendering (the only way
+    the harnesses persist an artifact)."""
+    validate_payload(payload, kind)
+    out.write_text(json.dumps(payload, indent=2) + "\n")

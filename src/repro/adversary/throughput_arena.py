@@ -45,7 +45,7 @@ from repro.sim.engine import Simulator
 __all__ = ["ThreadState", "ThroughputArena", "ThroughputTrace"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadState:
     """One simulated thread's bookkeeping."""
 

@@ -1,0 +1,744 @@
+"""Vectorized math kernels: whole-grid evaluation of the paper's formulas.
+
+Every closed-form quantity in the reproduction — competitive ratios,
+regime thresholds, ski-rental expectations, policy densities, conflict
+costs — exists as a *scalar* function in :mod:`repro.core.ski_rental`,
+:mod:`repro.core.requestor_wins`, :mod:`repro.core.requestor_aborts`
+and :mod:`repro.core.ratios`.  Those scalar forms stay the reference
+implementations; this module provides NumPy *batch* evaluators over
+array-valued ``(k, B, mu, x, D)`` grids, so the grid-shaped consumers
+(the ``tab_ratios`` table, the Figure 2 / regimes theory overlays, the
+bench suite) evaluate whole rows in one call instead of one scalar
+point at a time.
+
+Contract (pinned by ``tests/test_kernels_equiv.py``): every kernel
+matches its scalar reference to <= 1e-12 *absolute* on every grid cell,
+including edge cells (``k = 2``, ``B = 1``, degenerate ``mu``) and
+empty / one-element arrays.  Broadcasting follows NumPy rules; outputs
+always have the broadcast shape (0-d inputs produce 0-d arrays).
+
+The quadrature engine (:func:`expected_cost_grid`,
+:func:`competitive_ratio_grid`) batches the
+:mod:`repro.core.verify` trapezoid algorithm over parameter cells: the
+per-cell ``x``-grids, integrands and cumulative sums are evaluated as
+one 2-D array pass, mirroring the scalar algorithm operation-for-
+operation so the batched values agree with per-cell
+:func:`repro.core.verify.expected_cost_curve` to the last few ulps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.model import ConflictKind
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    # chain constants
+    "rw_chain_ratio_R",
+    "ra_chain_E",
+    # closed-form competitive ratios / thresholds (Thm 1-6)
+    "det_rw_ratio",
+    "det_ra_ratio",
+    "rand_rw_uniform_ratio",
+    "rand_rw_optimal_ratio",
+    "rand_ra_ratio",
+    "constrained_rw_ratio",
+    "constrained_ra_ratio",
+    "rw_mean_regime_threshold",
+    "ra_mean_regime_threshold",
+    "rw_best_ratio",
+    "ra_best_ratio",
+    "abort_probability_rw",
+    "abort_probability_ra",
+    "corollary1_bound",
+    # ski rental
+    "ski_offline_cost",
+    "ski_discrete_ratio",
+    "ski_expected_cost_randomized",
+    # conflict cost model
+    "conflict_cost",
+    "conflict_opt",
+    # policy densities (mean-constrained and unconstrained families)
+    "uniform_rw_pdf",
+    "uniform_rw_cdf",
+    "log_rw_pdf",
+    "log_rw_cdf",
+    "poly_rw_pdf",
+    "poly_rw_cdf",
+    "exp_ra_pdf",
+    "exp_ra_cdf",
+    "chain_ra_pdf",
+    "chain_ra_cdf",
+    # batched expectation / ratio engine
+    "FAMILIES",
+    "expected_cost_grid",
+    "competitive_ratio_grid",
+    "constrained_competitive_ratio_grid",
+    "upper_concave_envelope",
+]
+
+#: ``ln 4 - 1`` — normalization constant of the Theorem 5 log-density.
+_LN4M1 = math.log(4.0) - 1.0
+
+#: x-grid resolution of the batched quadrature (matches
+#: ``repro.core.verify._X_GRID`` so batched and per-cell values agree).
+_X_GRID = 8193
+
+
+# ----------------------------------------------------------------------
+# Validation helpers
+# ----------------------------------------------------------------------
+def _as_float(name: str, value) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise InvalidParameterError(f"{name} must be finite everywhere")
+    return arr
+
+
+def _check_k(k) -> np.ndarray:
+    arr = np.asarray(k)
+    if arr.size and not np.issubdtype(arr.dtype, np.number):
+        raise InvalidParameterError(f"k must be numeric, got dtype {arr.dtype}")
+    arr = arr.astype(float) if arr.dtype != float else arr
+    if arr.size and (np.any(arr < 2) or np.any(arr != np.floor(arr))):
+        raise InvalidParameterError("k must be integers >= 2 everywhere")
+    return arr
+
+
+def _check_positive(name: str, value) -> np.ndarray:
+    arr = _as_float(name, value)
+    if arr.size and np.any(arr <= 0):
+        raise InvalidParameterError(f"{name} must be positive everywhere")
+    return arr
+
+
+def _check_nonneg(name: str, value) -> np.ndarray:
+    arr = _as_float(name, value)
+    if arr.size and np.any(arr < 0):
+        raise InvalidParameterError(f"{name} must be >= 0 everywhere")
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Chain constants
+# ----------------------------------------------------------------------
+def _per_unique_k(k: np.ndarray, fn) -> np.ndarray:
+    """Evaluate ``fn`` (a scalar ``math``-library form) once per unique
+    ``k`` and scatter.  The constrained-ratio formulas divide by small
+    quantities like ``R - 2``, so the chain constants must match the
+    scalar references *bit for bit* — ``np.exp``/``np.log`` can differ
+    from ``math.exp``/``math.log`` by an ulp, which the division then
+    amplifies past the 1e-12 equivalence budget."""
+    out = np.empty(k.shape, dtype=float)
+    for kv in np.unique(k):
+        out[k == kv] = fn(int(kv))
+    return out
+
+
+def rw_chain_ratio_R(k) -> np.ndarray:
+    """Vector ``R = (k/(k-1))^{k-1}``; reference
+    :func:`repro.core.requestor_wins.rw_chain_ratio_R`."""
+    k = _check_k(k)
+    return _per_unique_k(k, lambda kv: math.exp((kv - 1) * math.log(kv / (kv - 1))))
+
+
+def ra_chain_E(k) -> np.ndarray:
+    """Vector ``E = e^{1/(k-1)}``; reference
+    :func:`repro.core.requestor_aborts.ra_chain_E`."""
+    k = _check_k(k)
+    return _per_unique_k(k, lambda kv: math.exp(1.0 / (kv - 1)))
+
+
+# ----------------------------------------------------------------------
+# Closed-form competitive ratios and regime thresholds
+# ----------------------------------------------------------------------
+def det_rw_ratio(k) -> np.ndarray:
+    """Theorem 4 ratio ``2 + 1/(k-1)`` over a ``k`` grid."""
+    k = _check_k(k)
+    return 2.0 + 1.0 / (k - 1)
+
+
+def det_ra_ratio(k) -> np.ndarray:
+    """Deterministic requestor-aborts ratio ``k`` over a ``k`` grid."""
+    return _check_k(k) + 0.0
+
+
+def rand_rw_uniform_ratio(k) -> np.ndarray:
+    """Theorem 5 uniform-strategy guarantee (2 for every k)."""
+    k = _check_k(k)
+    return np.full_like(k, 2.0)
+
+
+def rand_rw_optimal_ratio(k) -> np.ndarray:
+    """Optimal unconstrained randomized RW ratio: 2 at ``k = 2``,
+    ``R/(R-1)`` for ``k >= 3`` (Thm 5/6)."""
+    k = _check_k(k)
+    R = rw_chain_ratio_R(k)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        poly = R / (R - 1.0)
+    return np.where(k == 2, 2.0, poly)
+
+
+def rand_ra_ratio(k) -> np.ndarray:
+    """Theorems 1/3 ratio ``E/(E-1)`` with ``E = e^{1/(k-1)}``."""
+    E = ra_chain_E(k)
+    return E / (E - 1.0)
+
+
+def constrained_rw_ratio(B, mu, k=2) -> np.ndarray:
+    """Theorems 5/6 mean-constrained RW ratio over ``(B, mu, k)`` grids."""
+    B = _check_positive("B", B)
+    mu = _as_float("mu", mu)
+    k = _check_k(k)
+    B, mu, k = np.broadcast_arrays(B, mu, k)
+    B, mu, k = np.asarray(B, float), np.asarray(mu, float), np.asarray(k, float)
+    R = rw_chain_ratio_R(k)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        poly = 1.0 + mu * (k - 2) / (2.0 * B * (R - 2.0))
+    return np.where(k == 2, 1.0 + mu / (2.0 * B * _LN4M1), poly)
+
+
+def constrained_ra_ratio(B, mu, k=2) -> np.ndarray:
+    """Theorems 2/3 mean-constrained RA ratio ``1 + mu(k-1)/(2BZ)``."""
+    B = _check_positive("B", B)
+    mu = _as_float("mu", mu)
+    k = _check_k(k)
+    E = ra_chain_E(k)
+    Z = (k - 1) * (E - 1.0) - 1.0
+    return 1.0 + mu * (k - 1) / (2.0 * B * Z)
+
+
+def rw_mean_regime_threshold(k=2) -> np.ndarray:
+    """Largest ``mu/B`` for which the constrained RW policy wins."""
+    k = _check_k(k)
+    R = rw_chain_ratio_R(k)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        poly = 2.0 * (R - 2.0) / ((k - 2) * (R - 1.0))
+    return np.where(k == 2, 2.0 * _LN4M1, poly)
+
+
+def ra_mean_regime_threshold(k=2) -> np.ndarray:
+    """Largest ``mu/B`` for which the constrained RA policy wins."""
+    k = _check_k(k)
+    E = ra_chain_E(k)
+    Z = (k - 1) * (E - 1.0) - 1.0
+    return 2.0 * Z / ((k - 1) * (E - 1.0))
+
+
+def rw_best_ratio(B, mu, k=2) -> np.ndarray:
+    """Ratio achieved by the :func:`optimal_requestor_wins` factory:
+    the constrained ratio inside the mean regime, the unconstrained
+    optimum outside it (the theorems' "otherwise" clause)."""
+    B = _check_positive("B", B)
+    mu = _check_positive("mu", mu)
+    k = _check_k(k)
+    B, mu, k = (np.asarray(a, float) for a in np.broadcast_arrays(B, mu, k))
+    inside = mu / B < rw_mean_regime_threshold(k)
+    return np.where(
+        inside, constrained_rw_ratio(B, mu, k), rand_rw_optimal_ratio(k)
+    )
+
+
+def ra_best_ratio(B, mu, k=2) -> np.ndarray:
+    """Ratio achieved by the :func:`optimal_requestor_aborts` factory
+    (continuous form): constrained inside the regime, ``E/(E-1)``
+    outside."""
+    B = _check_positive("B", B)
+    mu = _check_positive("mu", mu)
+    k = _check_k(k)
+    B, mu, k = (np.asarray(a, float) for a in np.broadcast_arrays(B, mu, k))
+    inside = mu / B < ra_mean_regime_threshold(k)
+    return np.where(
+        inside, constrained_ra_ratio(B, mu, k), rand_ra_ratio(k)
+    )
+
+
+def abort_probability_rw(B) -> np.ndarray:
+    """Section 5.3 RW abort probability ``1 - ln2/(B(ln4-1))`` (k = 2)."""
+    B = _check_positive("B", B)
+    return 1.0 - math.log(2.0) / (B * _LN4M1)
+
+
+def abort_probability_ra(B) -> np.ndarray:
+    """Section 5.3 RA abort probability ``1 - (e-1)/(B(e-2))`` (k = 2)."""
+    B = _check_positive("B", B)
+    return 1.0 - (math.e - 1.0) / (B * (math.e - 2.0))
+
+
+def corollary1_bound(waste) -> np.ndarray:
+    """Corollary 1 bound ``(2w+1)/(w+1)`` over a waste grid."""
+    w = _check_nonneg("waste", waste)
+    return (2.0 * w + 1.0) / (w + 1.0)
+
+
+# ----------------------------------------------------------------------
+# Ski rental
+# ----------------------------------------------------------------------
+def ski_offline_cost(B, days) -> np.ndarray:
+    """``min(days, B)`` over ``(B, days)`` grids; reference
+    :func:`repro.core.ski_rental.optimal_offline_cost`."""
+    B = _check_positive("B", B)
+    days = _check_nonneg("days", days)
+    return np.minimum(days, B)
+
+
+def ski_discrete_ratio(B) -> np.ndarray:
+    """Exact Theorem 1 discrete ratio ``1/(1-(1-1/B)^B)`` over a ``B``
+    grid (1.0 at ``B = 1``)."""
+    B = _as_float("B", B)
+    if B.size and (np.any(B < 1) or np.any(B != np.floor(B))):
+        raise InvalidParameterError("B must be integers >= 1 everywhere")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = 1.0 / (1.0 - ((B - 1) / B) ** B)
+    return np.where(B > 1, ratio, 1.0)
+
+
+def ski_expected_cost_randomized(B, days) -> np.ndarray:
+    """Exact expected cost of the Theorem 1 strategy over ``(B, days)``
+    grids; reference
+    :func:`repro.core.ski_rental.expected_cost_randomized`.
+
+    The Karlin PMF is hoisted per *unique* ``B`` (the scalar reference
+    rebuilds it on every call), and all tours sharing a ``B`` are
+    evaluated in one matrix pass.
+    """
+    B = np.asarray(B)
+    days = np.asarray(days)
+    if B.size and (
+        not np.issubdtype(B.dtype, np.number)
+        or np.any(np.asarray(B, float) < 1)
+        or np.any(np.asarray(B, float) != np.floor(np.asarray(B, float)))
+    ):
+        raise InvalidParameterError("B must be integers >= 1 everywhere")
+    days_f = _check_nonneg("days", days)
+    Bb, Db = np.broadcast_arrays(np.asarray(B, float), days_f)
+    out = np.empty(Bb.shape, dtype=float)
+    flatB, flatD, flat_out = Bb.ravel(), Db.ravel(), out.ravel()
+    for b in np.unique(flatB):
+        nb = int(b)
+        q = (nb - 1) / nb
+        weights = q ** np.arange(nb - 1, -1, -1, dtype=float)
+        pmf = weights / weights.sum()
+        buy_days = np.arange(1, nb + 1)
+        sel = flatB == b
+        d = flatD[sel]
+        costs = np.where(
+            buy_days[None, :] > d[:, None], d[:, None], buy_days - 1.0 + nb
+        )
+        flat_out[sel] = costs @ pmf
+    return out
+
+
+# ----------------------------------------------------------------------
+# Conflict cost model
+# ----------------------------------------------------------------------
+def _kind(kind) -> ConflictKind:
+    if isinstance(kind, ConflictKind):
+        return kind
+    try:
+        return ConflictKind(kind)
+    except ValueError as exc:
+        raise InvalidParameterError(f"unknown conflict kind {kind!r}") from exc
+
+
+def conflict_cost(kind, delay, remaining, B, k=2) -> np.ndarray:
+    """Section 4 conflict cost over ``(x, D, B, k)`` grids; reference
+    :meth:`repro.core.model.ConflictModel.cost` (which broadcasts only
+    ``x`` and ``D`` for a fixed model)."""
+    kind = _kind(kind)
+    x = _check_nonneg("delay", delay)
+    d = _check_nonneg("remaining", remaining)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    x, d, B, k = (np.asarray(a, float) for a in np.broadcast_arrays(x, d, B, k))
+    commit_cost = (k - 1) * d
+    if kind is ConflictKind.REQUESTOR_WINS:
+        abort_cost = k * x + B
+    else:
+        abort_cost = (k - 1) * (x + B)
+    return np.where(d <= x, commit_cost, abort_cost)
+
+
+def conflict_opt(remaining, B, k=2) -> np.ndarray:
+    """Offline optimum ``min((k-1)D, B)`` over ``(D, B, k)`` grids."""
+    d = _check_nonneg("remaining", remaining)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    return np.minimum((k - 1) * d, B)
+
+
+# ----------------------------------------------------------------------
+# Policy density kernels
+#
+# Each pair mirrors the corresponding policy class's pdf_vec/cdf_vec
+# exactly, but broadcasts over the *parameters* as well as x — one call
+# evaluates a whole (x, B, k, mu) grid.
+# ----------------------------------------------------------------------
+def _support_mask(x, hi) -> np.ndarray:
+    return (x >= 0.0) & (x <= hi)
+
+
+def uniform_rw_pdf(x, B, k=2) -> np.ndarray:
+    """Theorem 5 uniform density on ``[0, B/(k-1)]``; reference
+    :meth:`UniformRW.pdf_vec`."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    x, B, k = (np.asarray(a, float) for a in np.broadcast_arrays(x, B, k))
+    return np.where(_support_mask(x, B / (k - 1)), (k - 1) / B, 0.0)
+
+
+def uniform_rw_cdf(x, B, k=2) -> np.ndarray:
+    """Uniform CDF ``clip(x(k-1)/B, 0, 1)``; reference
+    :meth:`UniformRW.cdf_vec`."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    return np.clip(x * (k - 1) / B, 0.0, 1.0)
+
+
+def log_rw_pdf(x, B) -> np.ndarray:
+    """Theorem 5 mean-constrained log-density (k = 2); reference
+    :meth:`MeanConstrainedRW.pdf_vec`."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    x, B = (np.asarray(a, float) for a in np.broadcast_arrays(x, B))
+    inside = _support_mask(x, B)
+    safe = np.where(inside, x, 0.0)
+    return np.where(inside, np.log1p(safe / B) / (B * _LN4M1), 0.0)
+
+
+def log_rw_cdf(x, B) -> np.ndarray:
+    """CDF of the log-density; reference :meth:`MeanConstrainedRW.cdf_vec`."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    x, B = (np.asarray(a, float) for a in np.broadcast_arrays(x, B))
+    clipped = np.clip(x, 0.0, B)
+    raw = ((B + clipped) * np.log1p(clipped / B) - clipped) / (B * _LN4M1)
+    return np.where(x >= B, 1.0, np.where(x <= 0.0, 0.0, raw))
+
+
+def poly_rw_pdf(x, B, k, *, constrained: bool = False) -> np.ndarray:
+    """Theorem 6 polynomial density (``k >= 3``); reference
+    :meth:`PolynomialRW.pdf_vec` (corrected constrained form)."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    if np.asarray(k).size and np.any(np.asarray(k, float) < 3):
+        raise InvalidParameterError("polynomial RW family requires k >= 3")
+    x, B, k = (np.asarray(a, float) for a in np.broadcast_arrays(x, B, k))
+    R = rw_chain_ratio_R(k)
+    inside = _support_mask(x, B / (k - 1))
+    safe = np.where(inside, x, 0.0)
+    base = np.power(1.0 + safe / B, k - 2)
+    if constrained:
+        vals = (k - 1) / (B * (R - 2.0)) * (base - 1.0)
+    else:
+        vals = (k - 1) / (B * (R - 1.0)) * base
+    return np.where(inside, vals, 0.0)
+
+
+def poly_rw_cdf(x, B, k, *, constrained: bool = False) -> np.ndarray:
+    """Theorem 6 polynomial CDF; reference :meth:`PolynomialRW.cdf_vec`."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    if np.asarray(k).size and np.any(np.asarray(k, float) < 3):
+        raise InvalidParameterError("polynomial RW family requires k >= 3")
+    x, B, k = (np.asarray(a, float) for a in np.broadcast_arrays(x, B, k))
+    R = rw_chain_ratio_R(k)
+    hi = B / (k - 1)
+    clipped = np.clip(x, 0.0, hi)
+    ratio_pow = np.power(1.0 + clipped / B, k - 1)
+    if constrained:
+        raw = (ratio_pow - 1.0 - (k - 1) * clipped / B) / (R - 2.0)
+    else:
+        raw = (ratio_pow - 1.0) / (R - 1.0)
+    return np.where(x >= hi, 1.0, np.where(x <= 0.0, 0.0, raw))
+
+
+def exp_ra_pdf(x, B, k=2) -> np.ndarray:
+    """Theorems 1/3 exponential density; reference
+    :meth:`ExponentialRA.pdf_vec`."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    x, B, k = (np.asarray(a, float) for a in np.broadcast_arrays(x, B, k))
+    E = ra_chain_E(k)
+    inside = _support_mask(x, B / (k - 1))
+    safe = np.where(inside, x, 0.0)
+    return np.where(inside, np.exp(safe / B) / (B * (E - 1.0)), 0.0)
+
+
+def exp_ra_cdf(x, B, k=2) -> np.ndarray:
+    """Exponential-family CDF; reference :meth:`ExponentialRA.cdf_vec`."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    x, B, k = (np.asarray(a, float) for a in np.broadcast_arrays(x, B, k))
+    E = ra_chain_E(k)
+    hi = B / (k - 1)
+    clipped = np.clip(x, 0.0, hi)
+    raw = np.expm1(clipped / B) / (E - 1.0)
+    return np.where(x >= hi, 1.0, np.where(x <= 0.0, 0.0, raw))
+
+
+def chain_ra_pdf(x, B, k=2) -> np.ndarray:
+    """Theorems 2/3 mean-constrained RA density; reference
+    :meth:`ChainRA.pdf_vec`."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    x, B, k = (np.asarray(a, float) for a in np.broadcast_arrays(x, B, k))
+    E = ra_chain_E(k)
+    Z = (k - 1) * (E - 1.0) - 1.0
+    inside = _support_mask(x, B / (k - 1))
+    safe = np.where(inside, x, 0.0)
+    return np.where(inside, (k - 1) * np.expm1(safe / B) / (B * Z), 0.0)
+
+
+def chain_ra_cdf(x, B, k=2) -> np.ndarray:
+    """Mean-constrained RA CDF; reference :meth:`ChainRA.cdf_vec`."""
+    x = _as_float("x", x)
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    x, B, k = (np.asarray(a, float) for a in np.broadcast_arrays(x, B, k))
+    E = ra_chain_E(k)
+    Z = (k - 1) * (E - 1.0) - 1.0
+    hi = B / (k - 1)
+    clipped = np.clip(x, 0.0, hi)
+    raw = (k - 1) * (np.expm1(clipped / B) - clipped / B) / Z
+    return np.where(x >= hi, 1.0, np.where(x <= 0.0, 0.0, raw))
+
+
+# ----------------------------------------------------------------------
+# Batched expectation / competitive-ratio engine
+# ----------------------------------------------------------------------
+#: Continuous policy families the batched engine understands, mapped to
+#: their (pdf, cdf) kernels in ``f(x, B, k)`` form.  ``det`` is handled
+#: separately (a point mass needs no quadrature).
+FAMILIES = ("det", "uniform_rw", "log_rw", "poly_rw", "poly_rw_mu", "exp_ra", "chain_ra")
+
+
+def _family_pdf_cdf(family: str):
+    if family == "uniform_rw":
+        return uniform_rw_pdf, uniform_rw_cdf
+    if family == "log_rw":
+        return (lambda x, B, k: log_rw_pdf(x, B)), (lambda x, B, k: log_rw_cdf(x, B))
+    if family == "poly_rw":
+        return (
+            lambda x, B, k: poly_rw_pdf(x, B, k),
+            lambda x, B, k: poly_rw_cdf(x, B, k),
+        )
+    if family == "poly_rw_mu":
+        return (
+            lambda x, B, k: poly_rw_pdf(x, B, k, constrained=True),
+            lambda x, B, k: poly_rw_cdf(x, B, k, constrained=True),
+        )
+    if family == "exp_ra":
+        return exp_ra_pdf, exp_ra_cdf
+    if family == "chain_ra":
+        return chain_ra_pdf, chain_ra_cdf
+    raise InvalidParameterError(f"unknown policy family {family!r}")
+
+
+def _cells(B, k) -> tuple[np.ndarray, np.ndarray]:
+    B = _check_positive("B", B)
+    k = _check_k(k)
+    B, k = (np.asarray(a, float) for a in np.broadcast_arrays(B, k))
+    return np.atleast_1d(B), np.atleast_1d(k)
+
+
+def expected_cost_grid(
+    kind,
+    family: str,
+    B,
+    k,
+    remaining,
+    *,
+    x0=None,
+    x_grid: int = _X_GRID,
+) -> np.ndarray:
+    """``E_x[cost(x, D)]`` for every parameter cell x every ``D``.
+
+    ``B`` and ``k`` broadcast to the cell axis (shape ``(C,)`` after
+    ``atleast_1d``); ``remaining`` is a shared ``D`` grid of shape
+    ``(nD,)``.  Returns shape ``(C, nD)``.
+
+    ``family`` picks the policy: ``"det"`` is the deterministic point
+    mass (delay ``x0``, default ``B/(k-1)``, broadcastable per cell);
+    the continuous families integrate ``abort_cost * pdf`` with the
+    same cumulative-trapezoid rule as
+    :func:`repro.core.verify.expected_cost_curve`, batched over cells.
+    """
+    kind = _kind(kind)
+    Bc, kc = _cells(B, k)
+    d = np.atleast_1d(_check_nonneg("remaining", remaining))
+
+    def abort_cost(x, Bv, kv):
+        if kind is ConflictKind.REQUESTOR_WINS:
+            return kv * x + Bv
+        return (kv - 1) * (x + Bv)
+
+    if family == "det":
+        delay = (
+            Bc / (kc - 1)
+            if x0 is None
+            else np.broadcast_to(
+                _check_nonneg("x0", x0), Bc.shape
+            ).astype(float)
+        )
+        commit = d[None, :] <= delay[:, None]
+        return np.where(
+            commit,
+            (kc[:, None] - 1) * d[None, :],
+            abort_cost(delay, Bc, kc)[:, None],
+        )
+
+    pdf_fn, cdf_fn = _family_pdf_cdf(family)
+    hi = Bc / (kc - 1)
+    # per-cell x-grids as rows of one 2-D array; np.linspace with array
+    # endpoints produces bit-identical rows to the per-cell scalar call
+    xs = np.linspace(np.zeros_like(hi), hi, x_grid, axis=-1)
+    integrand = abort_cost(xs, Bc[:, None], kc[:, None]) * pdf_fn(
+        xs, Bc[:, None], kc[:, None]
+    )
+    dx = xs[:, 1] - xs[:, 0] if x_grid > 1 else np.zeros_like(hi)
+    segments = 0.5 * (integrand[:, 1:] + integrand[:, :-1]) * dx[:, None]
+    cum = np.concatenate(
+        (np.zeros((len(hi), 1)), np.cumsum(segments, axis=-1)), axis=-1
+    )
+    d_clip = np.clip(d[None, :], 0.0, hi[:, None])
+    # np.interp is 1-D; a short Python loop over cells keeps the batched
+    # values bit-identical to the scalar reference (the heavy work —
+    # pdf, integrand, cumsum over (C, x_grid) — is already batched)
+    abort_part = np.empty((len(hi), d.size))
+    for i in range(len(hi)):
+        abort_part[i] = np.interp(d_clip[i], xs[i], cum[i])
+    surv = 1.0 - cdf_fn(d[None, :], Bc[:, None], kc[:, None])
+    return abort_part + (kc[:, None] - 1) * d[None, :] * surv
+
+
+def _adversary_grid_cell(
+    cap: float, edges: tuple[float, ...], n: int, d_max_factor: float
+) -> np.ndarray:
+    """Adversary ``D`` grid for one cell, built exactly like
+    :func:`repro.core.verify._adversary_grid` (dense over
+    ``(0, max(cap, hi) * f]`` plus refined points around support edges
+    / point masses) so the batched supremum is bit-identical to the
+    per-cell scalar path.  ``edges[1]`` is the support's upper edge."""
+    d_max = max(cap, edges[1]) * d_max_factor
+    grid = np.linspace(d_max / n, d_max, n)
+    special: list[float] = []
+    eps = 1e-9 * max(1.0, cap)
+    for edge in edges:
+        for point in (edge - eps, edge, edge + eps):
+            if point > 0:
+                special.append(point)
+    return np.unique(np.concatenate((grid, np.asarray(special))))
+
+
+def _cell_edges(family: str, cap: float, x0) -> tuple[float, ...]:
+    # mirrors verify._adversary_grid's (lo, hi, cap, deterministic
+    # point) edge list: engine families have lo = 0 and hi = cap; the
+    # det family is a point mass at x0 (support lo = hi = x0)
+    if family == "det":
+        point = cap if x0 is None else float(x0)
+        return (point, point, cap, point)
+    return (0.0, cap, cap, cap)
+
+
+def competitive_ratio_grid(
+    kind,
+    family: str,
+    B,
+    k,
+    *,
+    x0=None,
+    grid: int = 2048,
+    d_max_factor: float = 4.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``sup_D E[cost]/OPT(D)`` for every parameter cell.
+
+    Returns ``(ratios, worst_remaining)`` arrays of shape ``(C,)``.
+    The supremum is a grid-search lower bound exactly like
+    :func:`repro.core.verify.competitive_ratio`, and reproduces it bit
+    for bit (same adversary grid, same quadrature); the expected-cost
+    curves for all cells go through the batched engine.
+    """
+    Bc, kc = _cells(B, k)
+    cap = Bc / (kc - 1)
+    ratios = np.empty(len(Bc))
+    worst = np.empty(len(Bc))
+    for i in range(len(Bc)):
+        d = _adversary_grid_cell(
+            float(cap[i]), _cell_edges(family, float(cap[i]), x0), grid, d_max_factor
+        )
+        e = expected_cost_grid(kind, family, Bc[i], kc[i], d, x0=x0)[0]
+        r = e / np.minimum((kc[i] - 1) * d, Bc[i])
+        j = int(np.argmax(r))
+        ratios[i], worst[i] = float(r[j]), float(d[j])
+    return ratios, worst
+
+
+def upper_concave_envelope(xs: np.ndarray, ys: np.ndarray, at: float) -> float:
+    """Value at ``at`` of the upper concave envelope of ``(xs, ys)``
+    (monotone-chain upper hull + linear interpolation).  The extremal
+    mean-constrained adversary is a two-point distribution, so the
+    envelope at ``mu`` is the constrained competitive ratio."""
+    order = np.argsort(xs)
+    pts = list(zip(xs[order].tolist(), ys[order].tolist()))
+    hull: list[tuple[float, float]] = []
+    for p in pts:
+        while len(hull) >= 2:
+            (x1, y1), (x2, y2) = hull[-2], hull[-1]
+            if (x2 - x1) * (p[1] - y1) >= (p[0] - x1) * (y2 - y1):
+                hull.pop()
+            else:
+                break
+        if hull and hull[-1][0] == p[0]:
+            if p[1] > hull[-1][1]:
+                hull[-1] = p
+            continue
+        hull.append(p)
+    hx = np.asarray([p[0] for p in hull])
+    hy = np.asarray([p[1] for p in hull])
+    if at <= hx[0]:
+        return float(hy[0])
+    if at >= hx[-1]:
+        return float(hy[-1])
+    return float(np.interp(at, hx, hy))
+
+
+def constrained_competitive_ratio_grid(
+    kind,
+    family: str,
+    B,
+    k,
+    mu,
+    *,
+    grid: int = 2048,
+    d_max_factor: float = 4.0,
+) -> np.ndarray:
+    """Best mean-``mu`` adversary value per parameter cell.
+
+    Reproduces per-cell
+    :func:`repro.core.verify.constrained_competitive_ratio` bit for
+    bit; the ratio curves go through the batched quadrature engine and
+    the (cheap) concave-hull step runs per cell.
+    """
+    Bc, kc = _cells(B, k)
+    mu = np.broadcast_to(_check_positive("mu", mu), Bc.shape).astype(float)
+    cap = Bc / (kc - 1)
+    out = np.empty(len(Bc))
+    for i in range(len(Bc)):
+        d = _adversary_grid_cell(
+            float(cap[i]), _cell_edges(family, float(cap[i]), None), grid, d_max_factor
+        )
+        e = expected_cost_grid(kind, family, Bc[i], kc[i], d)[0]
+        ratios = e / np.minimum((kc[i] - 1) * d, Bc[i])
+        out[i] = upper_concave_envelope(d, ratios, float(mu[i]))
+    return out

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.kernels import upper_concave_envelope
 from repro.core.model import ConflictKind, ConflictModel
 from repro.core.policy import DelayPolicy
 from repro.errors import InvalidParameterError
@@ -198,35 +199,9 @@ def competitive_ratio(
     return RatioResult(float(ratios[idx]), float(d[idx]))
 
 
-def _upper_concave_envelope(
-    xs: np.ndarray, ys: np.ndarray, at: float
-) -> float:
-    """Value at ``at`` of the upper concave envelope of points
-    ``(xs, ys)`` (monotone-chain upper hull + linear interpolation)."""
-    order = np.argsort(xs)
-    pts = list(zip(xs[order].tolist(), ys[order].tolist()))
-    hull: list[tuple[float, float]] = []
-    for p in pts:
-        while len(hull) >= 2:
-            (x1, y1), (x2, y2) = hull[-2], hull[-1]
-            # pop hull[-1] if it lies below chord hull[-2] -> p
-            if (x2 - x1) * (p[1] - y1) >= (p[0] - x1) * (y2 - y1):
-                hull.pop()
-            else:
-                break
-        # drop exact-duplicate x (keep the higher y)
-        if hull and hull[-1][0] == p[0]:
-            if p[1] > hull[-1][1]:
-                hull[-1] = p
-            continue
-        hull.append(p)
-    hx = np.asarray([p[0] for p in hull])
-    hy = np.asarray([p[1] for p in hull])
-    if at <= hx[0]:
-        return float(hy[0])
-    if at >= hx[-1]:
-        return float(hy[-1])
-    return float(np.interp(at, hx, hy))
+# the monotone-chain upper-hull implementation lives in the kernels
+# module (shared with the batched constrained-ratio engine)
+_upper_concave_envelope = upper_concave_envelope
 
 
 def constrained_competitive_ratio(

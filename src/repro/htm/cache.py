@@ -27,7 +27,7 @@ class LineState(enum.Enum):
     MODIFIED = "M"
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One resident line's bookkeeping."""
 

@@ -54,7 +54,7 @@ class AbortReason(enum.Enum):
     SPURIOUS = "spurious"                      # injected machine fault
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingProbe:
     """A conflicting probe being delayed by the grace period."""
 

@@ -28,7 +28,7 @@ from repro.sim.engine import Simulator
 __all__ = ["DirectoryEntry", "PendingRequest", "Directory"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingRequest:
     """A coherence request awaiting service.
 
@@ -47,7 +47,7 @@ class PendingRequest:
     probed_holders: list[int] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Directory state for one line."""
 

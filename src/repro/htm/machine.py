@@ -100,6 +100,12 @@ class Machine:
         self.tracer = NullTracer()
         # waits-for multiset: (waiter_core, holder_core) -> count
         self._waits: dict[tuple[int, int], int] = {}
+        # incremental adjacency views of the same multiset (holder ->
+        # waiters, waiter -> holders), maintained by note_wait /
+        # clear_wait so the cycle/chain traversals iterate a node's
+        # neighbors directly instead of scanning every edge
+        self._waiters_adj: dict[int, set[int]] = {}
+        self._holders_adj: dict[int, set[int]] = {}
         self.directory = Directory(
             self.sim,
             params,
@@ -272,31 +278,49 @@ class Machine:
     # ------------------------------------------------------------------
     def note_wait(self, waiter: int, holder: int) -> None:
         key = (waiter, holder)
-        self._waits[key] = self._waits.get(key, 0) + 1
+        count = self._waits.get(key, 0) + 1
+        self._waits[key] = count
+        if count == 1:
+            self._waiters_adj.setdefault(holder, set()).add(waiter)
+            self._holders_adj.setdefault(waiter, set()).add(holder)
 
     def clear_wait(self, waiter: int, holder: int) -> None:
         key = (waiter, holder)
         count = self._waits.get(key, 0)
         if count <= 1:
-            self._waits.pop(key, None)
+            if self._waits.pop(key, None) is not None:
+                self._drop_edge(waiter, holder)
         else:
             self._waits[key] = count - 1
 
+    def _drop_edge(self, waiter: int, holder: int) -> None:
+        waiters = self._waiters_adj.get(holder)
+        if waiters is not None:
+            waiters.discard(waiter)
+            if not waiters:
+                del self._waiters_adj[holder]
+        holders = self._holders_adj.get(waiter)
+        if holders is not None:
+            holders.discard(holder)
+            if not holders:
+                del self._holders_adj[waiter]
+
     def _waiters_of(self, holder: int) -> set[int]:
-        return {w for (w, h) in self._waits if h == holder}
+        return set(self._waiters_adj.get(holder, ()))
 
     def _holders_of(self, waiter: int) -> set[int]:
-        return {h for (w, h) in self._waits if w == waiter}
+        return set(self._holders_adj.get(waiter, ()))
 
     def transitive_waiters(self, holder: int) -> set[int]:
         """Every core transitively delayed by ``holder``."""
         seen: set[int] = set()
         frontier = [holder]
+        adj = self._waiters_adj
         while frontier:
             node = frontier.pop()
             # sorted: set order is hash-dependent, and the traversal
             # order here decides abort victims -> event schedule
-            for waiter in sorted(self._waiters_of(node)):
+            for waiter in sorted(adj.get(node, ())):
                 if waiter not in seen and waiter != holder:
                     seen.add(waiter)
                     frontier.append(waiter)
@@ -342,11 +366,12 @@ class Machine:
         node list if ``start`` is reachable from itself."""
         stack: list[tuple[int, list[int]]] = [(start, [start])]
         visited: set[int] = set()
+        adj = self._holders_adj
         while stack:
             node, path = stack.pop()
             # sorted: which cycle is found first (and therefore which
             # cores abort) must not depend on set hash order
-            for holder in sorted(self._holders_of(node)):
+            for holder in sorted(adj.get(node, ())):
                 if holder == start:
                     return path
                 if holder not in visited:

@@ -39,11 +39,13 @@ from repro.errors import ExperimentTimeoutError, SimulationError
 __all__ = ["Event", "EventQueue", "Simulator"]
 
 
-@dataclass(order=False)
+@dataclass(order=False, slots=True)
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, seq)``; ``seq`` is assigned by the queue.
+    ``__slots__`` keeps the per-event footprint flat — hot runs allocate
+    millions of these.
     """
 
     time: float
@@ -94,8 +96,9 @@ class EventQueue:
 
     def pop(self) -> Event | None:
         """Pop the earliest live event, or None when empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap, heappop = self._heap, heapq.heappop
+        while heap:
+            event = heappop(heap)
             if event.cancelled:
                 self._dead -= 1
                 continue
@@ -244,6 +247,12 @@ class Simulator:
         fired = 0
         if self.profiler is not None:
             self.profiler.loop_enter()
+        # hoisted attribute lookups for the hot loop (bound methods are
+        # invariant across iterations; semantics identical)
+        peek_time = self.queue.peek_time
+        step = self.step
+        monotonic = time.monotonic
+        watchdog_every = self.WATCHDOG_EVERY
         try:
             while True:
                 if stop_when is not None and stop_when():
@@ -252,20 +261,20 @@ class Simulator:
                     break
                 if (
                     wall_deadline is not None
-                    and fired % self.WATCHDOG_EVERY == 0
-                    and time.monotonic() >= wall_deadline  # simlint: disable=DET001 -- watchdog wall-clock budget
+                    and fired % watchdog_every == 0
+                    and monotonic() >= wall_deadline  # simlint: disable=DET001 -- watchdog wall-clock budget
                 ):
                     raise ExperimentTimeoutError(
                         f"simulation exceeded its wall-clock budget at "
                         f"t={self.now:.0f} after {self.events_fired} events"
                     )
-                nxt = self.queue.peek_time()
+                nxt = peek_time()
                 if nxt is None:
                     break
                 if nxt >= until:
                     self.now = max(self.now, min(until, nxt))
                     break
-                self.step()
+                step()
                 fired += 1
         finally:
             self._running = False

@@ -1,0 +1,487 @@
+"""Kernel ↔ scalar-reference equivalence suite.
+
+Every batch evaluator in :mod:`repro.core.kernels` must agree with the
+scalar reference implementation it replaced (``ratios`` /
+``ski_rental`` / the policy classes / ``verify``) to **1e-12 absolute**
+(plus a 1e-12 relative term for cost-valued outputs, whose magnitudes
+exceed double-precision ulp resolution at 1e-12 absolute)
+over randomized ``(k, B, mu, x)`` grids — including the edge cells
+(``k = 2``, ``B = 1``, degenerate ``mu``) and empty / one-element
+arrays.  The tolerance is the vectorization contract: consumers were
+rewired from the scalar path to the kernels on the strength of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels, ratios, ski_rental
+from repro.core.model import ConflictKind, ConflictModel
+from repro.core.policy import FixedDelayPolicy
+from repro.core.requestor_aborts import (
+    ChainRA,
+    DeterministicRA,
+    ExponentialRA,
+    ra_chain_E,
+)
+from repro.core.requestor_wins import (
+    DeterministicRW,
+    MeanConstrainedRW,
+    PolynomialRW,
+    UniformRW,
+    rw_chain_ratio_R,
+)
+from repro.core.verify import (
+    competitive_ratio,
+    constrained_competitive_ratio,
+    expected_cost,
+)
+
+ATOL = 1e-12
+
+# -- strategies ---------------------------------------------------------
+
+ks = st.integers(min_value=2, max_value=32)
+k_arrays = st.lists(ks, min_size=0, max_size=8).map(
+    lambda v: np.asarray(v, dtype=int)
+)
+#: B down to exactly 1.0 — the smallest abort cost the model admits.
+Bs = st.floats(min_value=1.0, max_value=1e5, allow_nan=False)
+#: mu as a fraction of B: spans degenerate (≈0) through far out of the
+#: mean-constrained regime (10x B).
+mu_fracs = st.floats(min_value=1e-9, max_value=10.0, allow_nan=False)
+xs_rel = st.floats(min_value=-0.5, max_value=5.0, allow_nan=False)
+
+
+def assert_matches(batch: np.ndarray, scalar_values, *, scaled: bool = False) -> None:
+    """``scaled=True`` adds a 1e-12 *relative* term for cost-valued
+    outputs: expected conflict costs grow with ``B`` (up to ~1e6 here),
+    where 1e-12 absolute is finer than one double-precision ulp, so the
+    absolute contract is kept for O(1) quantities (ratios, thresholds,
+    densities) and scale-aware for the cost magnitudes."""
+    expected = np.asarray(list(scalar_values), dtype=float)
+    batch = np.asarray(batch, dtype=float)
+    assert batch.shape == expected.shape
+    rtol = ATOL if scaled else 0.0
+    np.testing.assert_allclose(batch, expected, rtol=rtol, atol=ATOL)
+
+
+# -- closed-form ratio kernels ------------------------------------------
+
+
+class TestRatioKernels:
+    @given(k_arrays)
+    def test_chain_constants(self, k):
+        assert_matches(kernels.rw_chain_ratio_R(k), (rw_chain_ratio_R(int(v)) for v in k))
+        assert_matches(kernels.ra_chain_E(k), (ra_chain_E(int(v)) for v in k))
+
+    @given(k_arrays)
+    def test_unconstrained_ratios(self, k):
+        pairs = [
+            (kernels.det_rw_ratio, ratios.det_rw_ratio),
+            (kernels.det_ra_ratio, ratios.det_ra_ratio),
+            (kernels.rand_rw_uniform_ratio, ratios.rand_rw_uniform_ratio),
+            (kernels.rand_rw_optimal_ratio, ratios.rand_rw_optimal_ratio),
+            (kernels.rand_ra_ratio, ratios.rand_ra_ratio),
+            (kernels.rw_mean_regime_threshold, ratios.rw_mean_regime_threshold),
+            (kernels.ra_mean_regime_threshold, ratios.ra_mean_regime_threshold),
+        ]
+        for batch_fn, scalar_fn in pairs:
+            assert_matches(batch_fn(k), (scalar_fn(int(v)) for v in k))
+
+    @given(st.lists(st.tuples(Bs, mu_fracs, ks), min_size=0, max_size=8))
+    def test_constrained_ratios(self, cells):
+        B = np.asarray([c[0] for c in cells])
+        mu = np.asarray([c[0] * c[1] for c in cells])
+        k = np.asarray([c[2] for c in cells], dtype=int)
+        assert_matches(
+            kernels.constrained_rw_ratio(B, mu, k),
+            (
+                ratios.constrained_rw_ratio(float(b), float(m), int(kv))
+                for b, m, kv in zip(B, mu, k)
+            ),
+        )
+        assert_matches(
+            kernels.constrained_ra_ratio(B, mu, k),
+            (
+                ratios.constrained_ra_ratio(float(b), float(m), int(kv))
+                for b, m, kv in zip(B, mu, k)
+            ),
+        )
+
+    @given(st.lists(st.tuples(Bs, mu_fracs, ks), min_size=0, max_size=8))
+    def test_best_ratio_regime_dispatch(self, cells):
+        B = np.asarray([c[0] for c in cells])
+        mu = np.asarray([max(c[0] * c[1], 1e-300) for c in cells])
+        k = np.asarray([c[2] for c in cells], dtype=int)
+
+        def scalar_rw(b, m, kv):
+            if m / b < ratios.rw_mean_regime_threshold(kv):
+                return ratios.constrained_rw_ratio(b, m, kv)
+            return ratios.rand_rw_optimal_ratio(kv)
+
+        def scalar_ra(b, m, kv):
+            if m / b < ratios.ra_mean_regime_threshold(kv):
+                return ratios.constrained_ra_ratio(b, m, kv)
+            return ratios.rand_ra_ratio(kv)
+
+        assert_matches(
+            kernels.rw_best_ratio(B, mu, k),
+            (scalar_rw(float(b), float(m), int(kv)) for b, m, kv in zip(B, mu, k)),
+        )
+        assert_matches(
+            kernels.ra_best_ratio(B, mu, k),
+            (scalar_ra(float(b), float(m), int(kv)) for b, m, kv in zip(B, mu, k)),
+        )
+
+    @given(st.lists(Bs, min_size=0, max_size=8))
+    def test_abort_probabilities(self, B_list):
+        B = np.asarray(B_list)
+        assert_matches(
+            kernels.abort_probability_rw(B),
+            (ratios.abort_probability_rw(float(b)) for b in B),
+        )
+        assert_matches(
+            kernels.abort_probability_ra(B),
+            (ratios.abort_probability_ra(float(b)) for b in B),
+        )
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=0, max_size=8))
+    def test_corollary1(self, w_list):
+        w = np.asarray(w_list)
+        assert_matches(
+            kernels.corollary1_bound(w),
+            (ratios.corollary1_bound(float(v)) for v in w),
+        )
+
+
+# -- ski rental ----------------------------------------------------------
+
+
+class TestSkiKernels:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=200),
+                st.integers(min_value=0, max_value=500),
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    def test_offline_cost(self, cells):
+        B = np.asarray([c[0] for c in cells], dtype=int)
+        days = np.asarray([c[1] for c in cells], dtype=int)
+        assert_matches(
+            kernels.ski_offline_cost(B, days),
+            (ski_rental.optimal_offline_cost(int(b), int(d)) for b, d in cells),
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=128),
+                st.integers(min_value=1, max_value=300),
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    def test_expected_cost_randomized(self, cells):
+        B = np.asarray([c[0] for c in cells], dtype=int)
+        days = np.asarray([c[1] for c in cells], dtype=int)
+        assert_matches(
+            kernels.ski_expected_cost_randomized(B, days),
+            (
+                ski_rental.expected_cost_randomized(int(b), int(d))
+                for b, d in cells
+            ),
+        )
+
+    @given(st.lists(st.integers(min_value=1, max_value=500), min_size=0, max_size=8))
+    def test_discrete_ratio(self, B_list):
+        B = np.asarray(B_list, dtype=int)
+        assert_matches(
+            kernels.ski_discrete_ratio(B),
+            (ski_rental.discrete_competitive_ratio(int(b)) for b in B),
+        )
+
+
+# -- conflict cost model -------------------------------------------------
+
+
+class TestConflictCostKernels:
+    @given(
+        st.sampled_from(list(ConflictKind)),
+        st.lists(
+            st.tuples(Bs, ks, st.floats(0.0, 1e6), st.floats(0.0, 1e6)),
+            min_size=0,
+            max_size=8,
+        ),
+    )
+    def test_cost_and_opt(self, kind, cells):
+        B = np.asarray([c[0] for c in cells])
+        k = np.asarray([c[1] for c in cells], dtype=int)
+        x = np.asarray([c[2] for c in cells])
+        d = np.asarray([c[3] for c in cells])
+        assert_matches(
+            kernels.conflict_cost(kind, x, d, B, k),
+            (
+                ConflictModel(kind, float(b), int(kv)).cost(float(xv), float(dv))
+                for b, kv, xv, dv in zip(B, k, x, d)
+            ),
+            scaled=True,
+        )
+        assert_matches(
+            kernels.conflict_opt(d, B, k),
+            (
+                ConflictModel(kind, float(b), int(kv)).opt(float(dv))
+                for b, kv, dv in zip(B, k, d)
+            ),
+            scaled=True,
+        )
+
+
+# -- mean-constrained densities vs the policy classes --------------------
+
+
+def _x_grid(B: float, k: int) -> np.ndarray:
+    """Points inside, outside, and at the edges of the support."""
+    hi = B / (k - 1)
+    return np.asarray(
+        [-1.0, 0.0, 0.25 * hi, 0.5 * hi, hi, hi + 1.0, 2.0 * hi]
+    )
+
+
+class TestDensityKernels:
+    @given(Bs, ks)
+    def test_uniform_rw(self, B, k):
+        x = _x_grid(B, k)
+        policy = UniformRW(B, k)
+        assert_matches(kernels.uniform_rw_pdf(x, B, k), policy.pdf_vec(x))
+        assert_matches(kernels.uniform_rw_cdf(x, B, k), policy.cdf_vec(x))
+
+    @given(Bs)
+    def test_log_rw(self, B):
+        x = _x_grid(B, 2)
+        mu = 0.5 * B * ratios.rw_mean_regime_threshold(2)
+        policy = MeanConstrainedRW(B, mu)
+        assert_matches(kernels.log_rw_pdf(x, B), policy.pdf_vec(x))
+        assert_matches(kernels.log_rw_cdf(x, B), policy.cdf_vec(x))
+
+    @given(Bs, st.integers(min_value=3, max_value=16))
+    def test_poly_rw(self, B, k):
+        x = _x_grid(B, k)
+        free = PolynomialRW(B, k)
+        assert_matches(kernels.poly_rw_pdf(x, B, k), free.pdf_vec(x))
+        assert_matches(kernels.poly_rw_cdf(x, B, k), free.cdf_vec(x))
+        mu = 0.5 * B * ratios.rw_mean_regime_threshold(k)
+        constrained = PolynomialRW(B, k, mu=mu)
+        assert_matches(
+            kernels.poly_rw_pdf(x, B, k, constrained=True),
+            constrained.pdf_vec(x),
+        )
+        assert_matches(
+            kernels.poly_rw_cdf(x, B, k, constrained=True),
+            constrained.cdf_vec(x),
+        )
+
+    @given(Bs, ks)
+    def test_exp_ra(self, B, k):
+        x = _x_grid(B, k)
+        policy = ExponentialRA(B, k)
+        assert_matches(kernels.exp_ra_pdf(x, B, k), policy.pdf_vec(x))
+        assert_matches(kernels.exp_ra_cdf(x, B, k), policy.cdf_vec(x))
+
+    @given(Bs, ks)
+    def test_chain_ra(self, B, k):
+        x = _x_grid(B, k)
+        mu = 0.5 * B * ratios.ra_mean_regime_threshold(k)
+        policy = ChainRA(B, k, mu)
+        assert_matches(kernels.chain_ra_pdf(x, B, k), policy.pdf_vec(x))
+        assert_matches(kernels.chain_ra_cdf(x, B, k), policy.cdf_vec(x))
+
+
+# -- quadrature / adversary grids vs verify ------------------------------
+
+RW = ConflictKind.REQUESTOR_WINS
+RA = ConflictKind.REQUESTOR_ABORTS
+
+
+def _reference_policy(family: str, B: float, k: int):
+    """(policy, kind) pair whose verify-path results the batched family
+    must reproduce."""
+    if family == "det":
+        return DeterministicRW(B, k), RW
+    if family == "uniform_rw":
+        return UniformRW(B, k), RW
+    if family == "log_rw":
+        mu = 0.5 * B * ratios.rw_mean_regime_threshold(2)
+        return MeanConstrainedRW(B, mu), RW
+    if family == "poly_rw":
+        return PolynomialRW(B, k), RW
+    if family == "poly_rw_mu":
+        mu = 0.5 * B * ratios.rw_mean_regime_threshold(k)
+        return PolynomialRW(B, k, mu=mu), RW
+    if family == "exp_ra":
+        return ExponentialRA(B, k), RA
+    if family == "chain_ra":
+        mu = 0.5 * B * ratios.ra_mean_regime_threshold(k)
+        return ChainRA(B, k, mu), RA
+    raise AssertionError(family)
+
+
+def _family_k(family: str, k: int) -> int:
+    if family in ("log_rw",):
+        return 2
+    if family in ("poly_rw", "poly_rw_mu"):
+        return max(k, 3)
+    return k
+
+
+@pytest.mark.parametrize("family", kernels.FAMILIES)
+class TestExpectationGrids:
+    @given(B=Bs, k=st.integers(min_value=2, max_value=8),
+           d_rel=st.lists(st.floats(0.0, 5.0), min_size=0, max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_expected_cost_grid(self, family, B, k, d_rel):
+        k = _family_k(family, k)
+        policy, kind = _reference_policy(family, B, k)
+        d = np.asarray(d_rel) * B
+        got = kernels.expected_cost_grid(kind, family, B, k, d)
+        assert got.shape == (1, len(d_rel))
+        model = ConflictModel(kind, B, k)
+        assert_matches(
+            got[0],
+            (expected_cost(policy, model, float(dv)) for dv in d),
+            scaled=True,
+        )
+
+    @given(B=Bs, k=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_competitive_ratio_grid(self, family, B, k):
+        k = _family_k(family, k)
+        policy, kind = _reference_policy(family, B, k)
+        ratios_arr, worst = kernels.competitive_ratio_grid(
+            kind, family, B, k, grid=256
+        )
+        ref = competitive_ratio(policy, ConflictModel(kind, B, k), grid=256)
+        assert_matches(ratios_arr, [ref.ratio])
+        assert_matches(worst, [ref.worst_remaining], scaled=True)
+
+
+@pytest.mark.parametrize("family", ["log_rw", "chain_ra"])
+class TestConstrainedRatioGrids:
+    @given(B=Bs, frac=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=10, deadline=None)
+    def test_constrained_ratio_grid(self, family, B, frac):
+        k = 2
+        threshold = (
+            ratios.rw_mean_regime_threshold(k)
+            if family == "log_rw"
+            else ratios.ra_mean_regime_threshold(k)
+        )
+        mu = frac * B * threshold
+        policy, kind = _reference_policy(family, B, k)
+        got = kernels.constrained_competitive_ratio_grid(
+            kind, family, B, k, mu, grid=256
+        )
+        ref = constrained_competitive_ratio(
+            policy, ConflictModel(kind, B, k), mu, grid=256
+        )
+        assert_matches(got, [ref.ratio])
+
+
+# -- edge shapes: empty / one-element arrays, degenerate cells -----------
+
+
+class TestEdgeShapes:
+    def test_empty_arrays(self):
+        empty_k = np.asarray([], dtype=int)
+        empty_f = np.asarray([], dtype=float)
+        assert kernels.det_rw_ratio(empty_k).shape == (0,)
+        assert kernels.rand_rw_optimal_ratio(empty_k).shape == (0,)
+        assert kernels.constrained_rw_ratio(empty_f, empty_f, empty_k).shape == (0,)
+        assert kernels.rw_best_ratio(empty_f, empty_f, empty_k).shape == (0,)
+        assert kernels.ski_expected_cost_randomized(empty_k, empty_k).shape == (0,)
+        assert kernels.conflict_opt(empty_f, empty_f, empty_k).shape == (0,)
+        assert kernels.uniform_rw_pdf(empty_f, 10.0).shape == (0,)
+
+    def test_empty_remaining_row(self):
+        got = kernels.expected_cost_grid(RW, "uniform_rw", 100.0, 2, [])
+        assert got.shape == (1, 0)
+
+    def test_one_element_arrays(self):
+        one_k = np.asarray([2])
+        got = kernels.det_rw_ratio(one_k)
+        assert got.shape == (1,)
+        assert float(got[0]) == ratios.det_rw_ratio(2)
+        got = kernels.expected_cost_grid(RW, "det", [100.0], [2], [50.0])
+        model = ConflictModel(RW, 100.0, 2)
+        assert_matches(
+            got[0],
+            [expected_cost(DeterministicRW(100.0, 2), model, 50.0)],
+            scaled=True,
+        )
+
+    def test_edge_cell_k2_B1(self):
+        """The smallest admissible cell: k = 2, B = 1."""
+        B, k = 1.0, 2
+        d = np.asarray([0.0, 0.5, 1.0, 4.0])
+        for family in ("det", "uniform_rw", "log_rw", "exp_ra", "chain_ra"):
+            policy, kind = _reference_policy(family, B, k)
+            got = kernels.expected_cost_grid(kind, family, B, k, d)
+            model = ConflictModel(kind, B, k)
+            assert_matches(
+                got[0],
+                (expected_cost(policy, model, float(dv)) for dv in d),
+                scaled=True,
+            )
+
+    def test_degenerate_mu(self):
+        """mu -> 0 collapses the constrained ratios to 1."""
+        tiny = np.asarray([1e-300, 1e-12])
+        B = np.asarray([100.0, 100.0])
+        rw = kernels.constrained_rw_ratio(B, tiny)
+        ra = kernels.constrained_ra_ratio(B, tiny)
+        np.testing.assert_allclose(rw, 1.0, rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(ra, 1.0, rtol=0.0, atol=1e-12)
+        # at exactly the regime boundary the dispatch must take the
+        # unconstrained branch (strict inequality), matching the scalar
+        # factories' regime_holds predicates
+        kb = 2
+        boundary = 100.0 * ratios.rw_mean_regime_threshold(kb)
+        got = kernels.rw_best_ratio(np.asarray([100.0]), np.asarray([boundary]), kb)
+        assert float(got[0]) == ratios.rand_rw_optimal_ratio(kb)
+
+    def test_det_ra_reference(self):
+        """The det family under RA kind matches DeterministicRA."""
+        B, k = 50.0, 3
+        d = np.asarray([1.0, 20.0, 30.0, 100.0])
+        got = kernels.expected_cost_grid(RA, "det", B, k, d)
+        model = ConflictModel(RA, B, k)
+        assert_matches(
+            got[0],
+            (expected_cost(DeterministicRA(B, k), model, float(dv)) for dv in d),
+            scaled=True,
+        )
+
+    def test_det_custom_x0(self):
+        """Explicit x0 (immediate abort and mid-support) matches
+        FixedDelayPolicy through the verify path."""
+        B, k = 200.0, 2
+        d = np.asarray([0.0, 50.0, 200.0, 500.0])
+        for x0 in (0.0, 37.5):
+            got = kernels.expected_cost_grid(RW, "det", B, k, d, x0=x0)
+            model = ConflictModel(RW, B, k)
+            assert_matches(
+                got[0],
+                (
+                    expected_cost(FixedDelayPolicy(x0), model, float(dv))
+                    for dv in d
+                ),
+                scaled=True,
+            )
