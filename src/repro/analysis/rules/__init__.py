@@ -8,7 +8,8 @@ Rules are grouped by contract family:
           :mod:`repro.rngutil`)
 ``ORD``   ordering: no iteration/accumulation over unordered sets
 ``ERR``   error handling: the watchdog's ``ExperimentTimeoutError``
-          and ``KeyboardInterrupt`` always propagate
+          and ``KeyboardInterrupt`` always propagate; checkpoint/cache
+          artifacts are only written atomically
 ``API``   interface hygiene: no mutable defaults, no frozen-dataclass
           mutation outside construction
 ``POL``   project contracts: policy/workload/injector subclasses
@@ -41,6 +42,7 @@ from repro.analysis.rules.det import (
     WorkerSeedRule,
 )
 from repro.analysis.rules.errors import (
+    AtomicArtifactWriteRule,
     BareExceptRule,
     BroadExceptRule,
     SwallowedWatchdogRule,
@@ -71,6 +73,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BareExceptRule(),
     BroadExceptRule(),
     SwallowedWatchdogRule(),
+    AtomicArtifactWriteRule(),
     MutableDefaultRule(),
     FrozenMutationRule(),
     ProtocolMethodsRule(),

@@ -30,7 +30,12 @@ from repro.analysis.rules.base import (
     handler_reraises,
 )
 
-__all__ = ["BareExceptRule", "BroadExceptRule", "SwallowedWatchdogRule"]
+__all__ = [
+    "BareExceptRule",
+    "BroadExceptRule",
+    "SwallowedWatchdogRule",
+    "AtomicArtifactWriteRule",
+]
 
 _BROAD = frozenset({"Exception", "BaseException"})
 #: Exceptions that must always propagate (watchdog/interrupt contract).
@@ -122,4 +127,68 @@ class SwallowedWatchdogRule(Rule):
                     self.id,
                     f"{', '.join(sorted(caught))} caught without re-raise; "
                     f"the watchdog contract requires these to propagate",
+                )
+
+
+#: Identifier fragments marking a crash-consistency-critical artifact.
+_ARTIFACT_TOKENS = ("checkpoint", "ckpt", "journal", "cache")
+#: ``open`` modes that truncate the target before writing.
+_TRUNCATING_MODES = frozenset({"w", "wb", "w+", "wb+", "w+b", "wt"})
+
+
+class AtomicArtifactWriteRule(Rule):
+    id = "ERR004"
+    summary = "non-atomic write to a checkpoint/cache artifact"
+    rationale = (
+        "writing a checkpoint, journal, or cache file with open(path, "
+        "'w') / Path.write_text truncates in place: a crash mid-write "
+        "leaves a torn artifact the next run must distrust.  Route "
+        "these writes through repro.parallel.journal.atomic_write_text "
+        "(temp file + fsync + os.replace) or an append-only journal."
+    )
+
+    def _mentions_artifact(self, node: ast.AST) -> bool:
+        try:
+            text = ast.unparse(node).lower()
+        except (ValueError, RecursionError):  # pragma: no cover - exotic AST
+            return False
+        return any(token in text for token in _ARTIFACT_TOKENS)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open" and node.args:
+                mode = None
+                if len(node.args) >= 2:
+                    mode = node.args[1]
+                for kw in node.keywords:
+                    if kw.arg == "mode":
+                        mode = kw.value
+                if not (
+                    isinstance(mode, ast.Constant)
+                    and mode.value in _TRUNCATING_MODES
+                ):
+                    continue
+                if self._mentions_artifact(node.args[0]):
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "open(..., 'w') truncates a checkpoint/cache "
+                        "artifact in place; use atomic_write_text (temp "
+                        "file + fsync + os.replace) so a crash cannot "
+                        "tear it",
+                    )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("write_text", "write_bytes")
+                and self._mentions_artifact(func.value)
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"{func.attr}() rewrites a checkpoint/cache artifact "
+                    f"in place; use atomic_write_text (temp file + fsync "
+                    f"+ os.replace) so a crash cannot tear it",
                 )

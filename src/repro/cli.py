@@ -11,9 +11,13 @@ Examples::
     python -m repro fig3_stack --jobs 8          # intra-experiment shards
     python -m repro all --no-cache --cache-dir /tmp/repro-cache
     python -m repro lint --list-rules
+    python -m repro cache verify
+    python -m repro all --quick --jobs 4 --chaos 1234 --resume
 
 ``lint`` dispatches to :mod:`repro.analysis.cli` — the simlint
-determinism & contract linter (docs/STATIC_ANALYSIS.md).
+determinism & contract linter (docs/STATIC_ANALYSIS.md); ``cache``
+dispatches to :mod:`repro.parallel.cache_cli` — checksum verification
+and pruning of the result cache.
 
 Parallelism & caching (docs/PERFORMANCE.md):
 
@@ -38,7 +42,19 @@ Resilience (docs/ROBUSTNESS.md):
   at the first error.
 * ``--resume`` (with ``--checkpoint``, or the default checkpoint path)
   skips experiments a previous invocation already completed, so a
-  crashed or killed batch picks up where it left off.
+  crashed or killed batch picks up where it left off.  Checkpoints are
+  an append-only, fsync-committed JSONL *journal* with per-record
+  checksums: a crash mid-write costs at most the torn tail, which
+  recovery truncates back to the last durable record.
+* Under ``--jobs``, workers are warm and *supervised*: heartbeat pings
+  detect crashed or hung workers, their in-flight task is re-executed
+  on a fresh worker (bounded, with backoff), and once
+  ``--max-worker-restarts`` replacements are spent the run degrades to
+  serial in-parent execution instead of failing.
+* ``--chaos SEED`` arms the process-level chaos harness (seeded
+  SIGKILLs of workers at injection points) to exercise exactly that
+  machinery; completed runs still produce rows byte-identical to a
+  fault-free run.
 """
 
 from __future__ import annotations
@@ -59,7 +75,6 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.obs import capture as obs_capture
-from repro.obs.tracebus import NO_SIM_TIME, get_bus
 
 __all__ = ["main", "build_parser"]
 
@@ -161,9 +176,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=None,
         metavar="PATH",
-        help="record per-experiment completion in a JSON checkpoint "
-        "(default with --resume: <out>/checkpoint.json, else "
-        f"{DEFAULT_CHECKPOINT})",
+        help="record per-experiment completion in an append-only "
+        "checkpoint journal (default with --resume: "
+        f"<out>/checkpoint.json, else {DEFAULT_CHECKPOINT})",
+    )
+    parser.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="arm seeded process-level chaos: SIGKILL worker processes "
+        "at deterministic injection points (needs --jobs > 1); the "
+        "supervised pool re-executes killed tasks, so completed runs "
+        "still produce fault-free rows",
+    )
+    parser.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=8,
+        metavar="N",
+        help="pool-wide budget of replacement worker processes; once "
+        "spent, remaining experiments run serially in the parent",
     )
     parser.add_argument(
         "--resume",
@@ -203,48 +236,43 @@ def _checkpoint_path(args: argparse.Namespace) -> pathlib.Path | None:
     return DEFAULT_CHECKPOINT
 
 
-def _load_checkpoint(
-    path: pathlib.Path, *, quick: bool, seed: int | None
-) -> dict[str, dict]:
-    """Completed/failed entries from a previous run, or {} when the file
-    is missing, unreadable, or belongs to a different (quick, seed)
-    configuration — resuming across configurations would silently mix
-    incomparable results."""
-    try:
-        data = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return {}
-    if not isinstance(data, dict):
-        return {}
-    if data.get("quick") != quick or data.get("seed") != seed:
+def _open_journal(args: argparse.Namespace, ckpt_path: pathlib.Path):
+    """Open (recovering) the checkpoint journal; report what recovery
+    did.  A journal from a different ``(quick, seed)`` configuration is
+    rotated aside — resuming across configurations would silently mix
+    incomparable results.  Journal records land in completion order, so
+    their ``checkpoint_written`` events stay out of the per-experiment
+    captures that feed ``--trace-out`` (which must stay invariant to
+    ``--jobs``)."""
+    from repro.parallel import CheckpointJournal
+
+    journal = CheckpointJournal(
+        ckpt_path, quick=args.quick, seed=args.seed
+    ).open()
+    if journal.rotated is not None:
+        header = journal.rotated.header or {}
         print(
-            f"checkpoint {path} is from a different run "
-            f"(quick={data.get('quick')!r}, seed={data.get('seed')!r}); "
+            f"checkpoint {ckpt_path} is from a different run "
+            f"(quick={header.get('quick')!r}, seed={header.get('seed')!r}); "
             f"ignoring it",
             file=sys.stderr,
         )
-        return {}
-    done = data.get("done")
-    return done if isinstance(done, dict) else {}
+    elif journal.recovery is not None and journal.recovery.truncated:
+        rec = journal.recovery
+        print(
+            f"checkpoint {ckpt_path}: recovered a torn tail "
+            f"({rec.dropped_records} record(s), {rec.dropped_bytes} bytes "
+            f"dropped); resuming from the last durable record",
+            file=sys.stderr,
+        )
+    return journal
 
 
-def _save_checkpoint(
-    path: pathlib.Path,
-    done: dict[str, dict],
-    *,
-    quick: bool,
-    seed: int | None,
-) -> None:
-    payload = {"quick": quick, "seed": seed, "done": done}
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    tmp.replace(path)  # atomic: a mid-write kill never corrupts it
-    # checkpoints land in completion order, so this goes to the global
-    # bus only — never into the per-experiment captures that feed
-    # --trace-out (which must stay invariant to --jobs)
-    get_bus().emit(
-        NO_SIM_TIME, "checkpoint_written", -1, path=str(path), done=len(done)
-    )
+def _mark_done(journal, exp_id: str, entry: dict) -> None:
+    """Durably record one experiment's final status (no-op without a
+    journal)."""
+    if journal is not None:
+        journal.mark_done(exp_id, entry)
 
 
 def _emit_result(args: argparse.Namespace, result, elapsed: float) -> None:
@@ -286,34 +314,95 @@ def _write_obs(args: argparse.Namespace, snaps: list, events: list) -> None:
         print(f"[{count} trace events -> {args.trace_out}]")
 
 
+#: Supervision vocabulary folded into --metrics-out / --trace-out:
+#: counters the supervised pool and journal recovery increment, and the
+#: event kinds they emit on the parent's bus.  Fault-free runs produce
+#: none of either, so the obs artifacts stay byte-identical at any
+#: --jobs; under chaos they carry the restart/recovery counts.
+_SUPERVISION_COUNTERS = frozenset(
+    {
+        "worker_crashes",
+        "worker_restarts",
+        "task_reexecutions",
+        "worker_heartbeat_timeouts",
+        "worker_parent_kills",
+        "degraded_to_serial",
+        "journal_recoveries",
+    }
+)
+_SUPERVISION_KINDS = frozenset(
+    {
+        "worker_crashed",
+        "worker_restarted",
+        "journal_recovered",
+        "degraded_to_serial",
+    }
+)
+
+
+def _fold_supervision(parent_cap, snaps: list, events: list) -> None:
+    """Append the parent capture's supervision counters/events to the
+    obs outputs (see _SUPERVISION_COUNTERS)."""
+    if parent_cap is None:
+        return
+    events.extend(
+        e for e in parent_cap.events if e.kind in _SUPERVISION_KINDS
+    )
+    counters = {
+        name: value
+        for name, value in parent_cap.snapshot().get("counters", {}).items()
+        if name in _SUPERVISION_COUNTERS and value
+    }
+    if counters:
+        snaps.append({"counters": counters, "gauges": {}, "histograms": {}})
+
+
 def _run_parallel(
     args: argparse.Namespace,
     ids: list[str],
     cache,
-    ckpt_path: pathlib.Path | None,
+    journal,
     done: dict[str, dict],
     failures: list[dict[str, object]],
     *,
     collect: bool = False,
-) -> list:
-    """Fan ``ids`` out over worker processes.
+):
+    """Fan ``ids`` out over the supervised worker pool.
 
     The parent stays the only checkpoint writer: per-experiment
-    ``done`` entries land in completion order (atomic tmp-rename), while
-    results are *emitted* in submission order so the report reads like
-    the serial run.
+    ``done`` records land in completion order (fsync'd journal
+    appends), while results are *emitted* in submission order so the
+    report reads like the serial run.  Returns ``(outcomes,
+    supervisor stats)``.
     """
-    from repro.parallel import ParallelExecutor
+    from repro.parallel import ParallelExecutor, RetryPolicy
 
+    chaos = None
+    retry = RetryPolicy(
+        retries=args.retries, max_worker_restarts=args.max_worker_restarts
+    )
+    if args.chaos is not None:
+        from repro.faults import ChaosPlan
+
+        chaos = ChaosPlan(seed=args.chaos)
+        if retry.max_task_reexecutions < chaos.safe_attempt:
+            # chaos is suppressed from safe_attempt on; the budget must
+            # reach it or a chaosed task could fail before its safe run
+            retry = RetryPolicy(
+                retries=retry.retries,
+                max_task_reexecutions=chaos.safe_attempt,
+                max_worker_restarts=retry.max_worker_restarts,
+            )
     executor = ParallelExecutor(
         args.jobs,
         quick=args.quick,
         seed=args.seed,
         timeout=args.timeout,
-        retries=args.retries,
+        retry=retry,
         cache_dir=str(args.cache_dir) if cache is not None else None,
         fingerprint=cache.fingerprint if cache is not None else None,
         collect=collect,
+        chaos=chaos,
     )
     buffered: dict[str, object] = {}
     emit_order = list(ids)
@@ -339,21 +428,21 @@ def _run_parallel(
                 "elapsed_s": round(outcome.elapsed_s, 2),
             }
         else:
-            failures.append(
-                {
-                    "exp_id": outcome.exp_id,
-                    "error_type": outcome.error_type,
-                    "error": outcome.error,
-                }
-            )
-            done[outcome.exp_id] = {
-                "status": "failed",
-                "elapsed_s": round(outcome.elapsed_s, 2),
+            failure = {
+                "exp_id": outcome.exp_id,
                 "error_type": outcome.error_type,
                 "error": outcome.error,
             }
-        if ckpt_path is not None:
-            _save_checkpoint(ckpt_path, done, quick=args.quick, seed=args.seed)
+            if outcome.exit_cause is not None:
+                # the real reason the worker died (signal/exit/timeout)
+                failure["exit_cause"] = outcome.exit_cause
+            failures.append(failure)
+            done[outcome.exp_id] = {
+                "status": "failed",
+                "elapsed_s": round(outcome.elapsed_s, 2),
+                **{k: v for k, v in failure.items() if k != "exp_id"},
+            }
+        _mark_done(journal, outcome.exp_id, done[outcome.exp_id])
         buffered[outcome.exp_id] = outcome
         flush()
 
@@ -368,7 +457,13 @@ def _run_parallel(
             f"{', '.join(skipped)}]",
             file=sys.stderr,
         )
-    return outcomes
+    stats = executor.stats
+    if stats.any():
+        summary = ", ".join(
+            f"{k}={v}" for k, v in stats.as_dict().items() if v
+        )
+        print(f"[supervisor: {summary}]", file=sys.stderr)
+    return outcomes, stats
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -386,6 +481,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "cache":
+        # result-cache operator verbs (verify / prune); see
+        # repro.parallel.cache_cli and docs/ROBUSTNESS.md
+        from repro.parallel.cache_cli import cache_main
+
+        return cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for exp_id, title in sorted(EXPERIMENTS.items()):
@@ -411,105 +512,133 @@ def main(argv: list[str] | None = None) -> int:
 
         cache = ResultCache(args.cache_dir)
 
-    ckpt_path = _checkpoint_path(args)
-    done: dict[str, dict] = {}
-    if ckpt_path is not None and args.resume:
-        done = _load_checkpoint(ckpt_path, quick=args.quick, seed=args.seed)
-
-    failures: list[dict[str, object]] = []
-    run_ids: list[str] = []
-    for exp_id in ids:
-        if args.resume and done.get(exp_id, {}).get("status") == "ok":
-            print(f"[{exp_id} already completed; skipping (--resume)]")
-            continue
-        run_ids.append(exp_id)
+    if args.chaos is not None and args.jobs < 2:
+        print(
+            "--chaos targets worker processes and needs --jobs > 1; "
+            "ignoring it",
+            file=sys.stderr,
+        )
+        args.chaos = None
 
     collect = args.metrics_out is not None or args.trace_out is not None
-
-    if args.jobs > 1 and len(run_ids) > 1:
-        outcomes = _run_parallel(
-            args, run_ids, cache, ckpt_path, done, failures, collect=collect
-        )
-        if collect:
-            _write_obs(
-                args,
-                [o.metrics for o in outcomes if o.metrics is not None],
-                [e for o in outcomes if o.events for e in o.events],
-            )
-        if failures:
-            print(render_failures(failures), file=sys.stderr)
-            return 1
-        return 0
-
-    # serial path (also: single experiment with an intra-experiment pool)
-    pool = None
-    if args.jobs > 1 and run_ids:
-        from repro.parallel import make_pool
-
-        pool = make_pool(args.jobs)
-    snaps: list = []
-    events: list = []
+    journal = None
     try:
-        for exp_id in run_ids:
-            start = time.perf_counter()
-            try:
-                with (
-                    obs_capture() if collect else nullcontext()
-                ) as cap:
-                    result = run_experiment(
-                        exp_id,
-                        quick=args.quick,
-                        seed=args.seed,
-                        timeout=args.timeout,
-                        retries=args.retries,
-                        cache=cache,
-                        pool=pool,
-                    )
-                if cap is not None:
-                    snaps.append(cap.snapshot())
-                    events.extend(cap.events)
-            except ReproError as exc:
-                elapsed = time.perf_counter() - start
-                failure = {
-                    "exp_id": exp_id,
-                    "error_type": type(exc).__name__,
-                    "error": str(exc),
-                }
-                failures.append(failure)
-                done[exp_id] = {
-                    "status": "failed",
-                    "elapsed_s": round(elapsed, 2),
-                    **{k: v for k, v in failure.items() if k != "exp_id"},
-                }
-                if ckpt_path is not None:
-                    _save_checkpoint(
-                        ckpt_path, done, quick=args.quick, seed=args.seed
-                    )
-                print(
-                    f"[{exp_id} FAILED after {elapsed:.1f}s: "
-                    f"{type(exc).__name__}: {exc}]\n",
-                    file=sys.stderr,
+        # the parent-side capture records supervision activity (worker
+        # crashes/restarts, journal recoveries); fault-free runs record
+        # nothing, keeping --metrics-out/--trace-out byte-identical at
+        # any --jobs
+        with (obs_capture() if collect else nullcontext()) as parent_cap:
+            ckpt_path = _checkpoint_path(args)
+            done: dict[str, dict] = {}
+            if ckpt_path is not None:
+                journal = _open_journal(args, ckpt_path)
+                if args.resume:
+                    done = journal.done_map()
+
+            failures: list[dict[str, object]] = []
+            run_ids: list[str] = []
+            for exp_id in ids:
+                if args.resume and done.get(exp_id, {}).get("status") == "ok":
+                    print(f"[{exp_id} already completed; skipping (--resume)]")
+                    continue
+                run_ids.append(exp_id)
+
+            # chaos forces the supervised-executor path even for a
+            # single experiment: it is the layer that survives the kills
+            if args.jobs > 1 and (len(run_ids) > 1 or args.chaos is not None):
+                outcomes, _ = _run_parallel(
+                    args, run_ids, cache, journal, done, failures,
+                    collect=collect,
                 )
-                if not args.keep_going:
+                if collect:
+                    snaps = [
+                        o.metrics for o in outcomes if o.metrics is not None
+                    ]
+                    events = [
+                        e for o in outcomes if o.events for e in o.events
+                    ]
+                    _fold_supervision(parent_cap, snaps, events)
+                    _write_obs(args, snaps, events)
+                if failures:
                     print(render_failures(failures), file=sys.stderr)
                     return 1
-                continue
-            elapsed = time.perf_counter() - start
-            _emit_result(args, result, elapsed)
-            done[exp_id] = {"status": "ok", "elapsed_s": round(elapsed, 2)}
-            if ckpt_path is not None:
-                _save_checkpoint(
-                    ckpt_path, done, quick=args.quick, seed=args.seed
-                )
+                return 0
+
+            # serial path (also: single experiment with an
+            # intra-experiment pool)
+            pool = None
+            if args.jobs > 1 and run_ids:
+                from repro.parallel import make_pool
+
+                pool = make_pool(args.jobs)
+            snaps: list = []
+            events: list = []
+            try:
+                for exp_id in run_ids:
+                    start = time.perf_counter()
+                    try:
+                        with (
+                            obs_capture() if collect else nullcontext()
+                        ) as cap:
+                            result = run_experiment(
+                                exp_id,
+                                quick=args.quick,
+                                seed=args.seed,
+                                timeout=args.timeout,
+                                retries=args.retries,
+                                cache=cache,
+                                pool=pool,
+                            )
+                        if cap is not None:
+                            snaps.append(cap.snapshot())
+                            events.extend(cap.events)
+                    except ReproError as exc:
+                        elapsed = time.perf_counter() - start
+                        failure = {
+                            "exp_id": exp_id,
+                            "error_type": type(exc).__name__,
+                            "error": str(exc),
+                        }
+                        failures.append(failure)
+                        done[exp_id] = {
+                            "status": "failed",
+                            "elapsed_s": round(elapsed, 2),
+                            **{
+                                k: v
+                                for k, v in failure.items()
+                                if k != "exp_id"
+                            },
+                        }
+                        _mark_done(journal, exp_id, done[exp_id])
+                        print(
+                            f"[{exp_id} FAILED after {elapsed:.1f}s: "
+                            f"{type(exc).__name__}: {exc}]\n",
+                            file=sys.stderr,
+                        )
+                        if not args.keep_going:
+                            print(render_failures(failures), file=sys.stderr)
+                            return 1
+                        continue
+                    elapsed = time.perf_counter() - start
+                    _emit_result(args, result, elapsed)
+                    done[exp_id] = {
+                        "status": "ok",
+                        "elapsed_s": round(elapsed, 2),
+                    }
+                    _mark_done(journal, exp_id, done[exp_id])
+            finally:
+                if pool is not None:
+                    pool.close()
+            if collect:
+                _fold_supervision(parent_cap, snaps, events)
+                _write_obs(args, snaps, events)
+            if failures:
+                print(render_failures(failures), file=sys.stderr)
+                return 1
+            return 0
     finally:
-        if pool is not None:
-            pool.close()
-    if collect:
-        _write_obs(args, snaps, events)
-    if failures:
-        print(render_failures(failures), file=sys.stderr)
-        return 1
-    return 0
+        if journal is not None:
+            journal.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -379,6 +379,7 @@ def run_experiment(
     timeout: float | None = None,
     retries: int = 0,
     retry_backoff: float = 0.05,
+    retry=None,
     cache=None,
     pool=None,
     **overrides,
@@ -387,12 +388,14 @@ def run_experiment(
 
     ``quick`` shrinks trial counts/horizons for CI; ``overrides`` are
     forwarded to the runner (after the mode defaults).  ``timeout``
-    arms a per-attempt wall-clock watchdog; ``retries`` re-runs the
-    experiment (exponential backoff starting at ``retry_backoff``
-    seconds) when it dies with a transient
+    arms a per-attempt wall-clock watchdog; ``retry`` (a
+    :class:`repro.parallel.retry.RetryPolicy` — the one object every
+    execution path shares) re-runs the experiment with exponential
+    backoff when it dies with a transient
     :class:`~repro.errors.SimulationError` — the failure mode injected
-    faults produce.  Timeouts, bad parameters, and unknown ids are
-    never retried.
+    faults produce.  ``retries`` / ``retry_backoff`` are the legacy
+    spelling and build an equivalent policy when no ``retry`` is given.
+    Timeouts, bad parameters, and unknown ids are never retried.
 
     ``cache`` (a :class:`repro.parallel.ResultCache`) short-circuits
     the run when an entry for this exact invocation exists, and stores
@@ -407,8 +410,12 @@ def run_experiment(
     if spec is None:
         known = ", ".join(sorted(_SPECS))
         raise ExperimentError(f"unknown experiment {exp_id!r}; known: {known}")
-    if retries < 0:
-        raise ExperimentError(f"retries must be >= 0, got {retries}")
+    if retry is None:
+        if retries < 0:
+            raise ExperimentError(f"retries must be >= 0, got {retries}")
+        from repro.parallel.retry import RetryPolicy
+
+        retry = RetryPolicy(retries=retries, backoff_base=retry_backoff)
     sig_params = inspect.signature(spec.runner).parameters
     kwargs = dict(spec.quick_kwargs if quick else spec.full_kwargs)
     kwargs.update(overrides)
@@ -431,7 +438,7 @@ def run_experiment(
         call_kwargs["pool"] = pool
     if cache is not None and "cache" in sig_params:
         call_kwargs["cache"] = cache
-    attempts = retries + 1
+    attempts = retry.retries + 1
     for attempt in range(attempts):
         try:
             with _watchdog(timeout, exp_id):
@@ -442,7 +449,7 @@ def run_experiment(
         except SimulationError:
             if attempt + 1 >= attempts:
                 raise
-            time.sleep(retry_backoff * (2**attempt))
+            time.sleep(retry.attempt_backoff(attempt))
     if cache is not None:
         cache.put_rows(exp_id, rows, kwargs, quick=quick, seed=seed)
     return ExperimentResult(

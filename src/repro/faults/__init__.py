@@ -20,12 +20,25 @@ Usage::
     stats = machine.run(200_000.0)
     print(stats.fault_counters)   # {'spurious_aborts': 12, ...}
 
+:mod:`repro.faults.chaos` extends the adversary one level up — to the
+*host* the harness runs on: seeded SIGKILL/SIGSTOP of worker
+processes (:class:`ChaosPlan`, armed by ``--chaos SEED``) and
+deterministic corruption of checkpoint/cache artifacts
+(:func:`tear_tail`, :func:`corrupt_bytes`), exercised by the chaos CI
+job against the supervised executor's recovery guarantees.
+
 See ``docs/ROBUSTNESS.md`` for the fault model and
 ``python -m repro robustness`` for the policy-degradation sweep.
 """
 
 from __future__ import annotations
 
+from repro.faults.chaos import (
+    ChaosPlan,
+    apply_worker_chaos,
+    corrupt_bytes,
+    tear_tail,
+)
 from repro.faults.injectors import (
     NULL_INJECTOR,
     FaultInjector,
@@ -35,9 +48,13 @@ from repro.faults.injectors import (
 from repro.faults.plan import FaultPlan
 
 __all__ = [
+    "ChaosPlan",
     "FaultPlan",
     "FaultInjector",
     "NullInjector",
     "NULL_INJECTOR",
+    "apply_worker_chaos",
+    "corrupt_bytes",
     "injector_for",
+    "tear_tail",
 ]

@@ -19,10 +19,18 @@ Canonical event kinds (full schema in docs/OBSERVABILITY.md):
 ``grace_expired``   grace timer fired with the transaction still live
                     (core, mode)
 ``fault_injected``  injector fired (fault, n)
-``checkpoint_written``  CLI checkpoint flushed (path, done)
+``checkpoint_written``  journal record committed (path, kind, seq)
 ``cache_hit`` / ``cache_miss``  result-cache lookup (exp_id)
 ``synthetic_run``   one synthetic harness run completed (distribution,
                     trials, B, mu, per-policy means)
+``worker_crashed``  supervised worker died or hung (worker, cause,
+                    exp_id)
+``worker_restarted``  replacement worker spawned (restarts_used,
+                    budget)
+``journal_recovered``  torn checkpoint tail truncated on recovery
+                    (path, kept, dropped_records, dropped_bytes)
+``degraded_to_serial``  worker pool exhausted; remaining tasks run
+                    serially in the parent (remaining, restarts_used)
 ==================  ======================================================
 
 Serialization is canonical — ``json.dumps(..., sort_keys=True)`` with
@@ -71,6 +79,10 @@ EVENT_KINDS = frozenset(
         "cache_hit",
         "cache_miss",
         "synthetic_run",
+        "worker_crashed",
+        "worker_restarted",
+        "journal_recovered",
+        "degraded_to_serial",
     }
 )
 

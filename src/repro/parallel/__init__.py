@@ -14,16 +14,32 @@ Two levels of fan-out (docs/PERFORMANCE.md):
   to the worker count.
 
 Plus :class:`ResultCache`, the content-addressed row store keyed on
-``exp_id + kwargs + seed + quick +`` a source-tree fingerprint.
+``exp_id + kwargs + seed + quick +`` a source-tree fingerprint, and the
+crash-tolerance layer: :class:`SupervisedPool` (warm workers,
+heartbeats, bounded restarts, degradation to serial),
+:class:`CheckpointJournal` (append-only fsync'd JSONL with per-record
+checksums and torn-tail recovery), and :class:`RetryPolicy` (the one
+retry/re-execution/restart budget object every path shares).
 """
 
 from __future__ import annotations
 
-from repro.parallel.cache import ResultCache, cache_key, source_fingerprint
+from repro.parallel.cache import (
+    ResultCache,
+    cache_key,
+    scan_cache_dir,
+    source_fingerprint,
+)
 from repro.parallel.executor import (
     ExperimentOutcome,
     ExperimentTask,
     ParallelExecutor,
+)
+from repro.parallel.journal import (
+    CheckpointJournal,
+    JournalRecovery,
+    atomic_write_text,
+    recover,
 )
 from repro.parallel.pool import (
     ProcessPool,
@@ -32,17 +48,28 @@ from repro.parallel.pool import (
     best_start_method,
     make_pool,
 )
+from repro.parallel.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.parallel.supervisor import SupervisedPool, SupervisorStats
 
 __all__ = [
+    "CheckpointJournal",
+    "DEFAULT_RETRY_POLICY",
     "ExperimentOutcome",
     "ExperimentTask",
+    "JournalRecovery",
     "ParallelExecutor",
     "ProcessPool",
     "ResultCache",
+    "RetryPolicy",
     "SerialPool",
     "ShardPool",
+    "SupervisedPool",
+    "SupervisorStats",
+    "atomic_write_text",
     "best_start_method",
     "cache_key",
     "make_pool",
+    "recover",
+    "scan_cache_dir",
     "source_fingerprint",
 ]

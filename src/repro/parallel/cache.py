@@ -21,9 +21,17 @@ a fresh one in every rendered artifact (rows survive a JSON round-trip
 bit-exactly: floats serialize via shortest-repr).
 
 Failures are never cached, and a corrupt or unreadable entry is a miss,
-never an error.  ``scorecard`` is the headline consumer: in one
-``python -m repro all`` batch it re-grades sub-experiments from their
-just-written cache entries instead of recomputing them.
+never an error.  Since version 2 every entry carries a ``crc`` — a
+checksum over its canonical rows — so silent bit rot is *detected*, not
+replayed into results: a mismatch counts as ``cache_corrupt`` and the
+rows are recomputed.  ``repro cache verify`` / ``repro cache prune``
+(:mod:`repro.parallel.cache_cli`) expose the same check as an operator
+tool via :func:`scan_cache_dir`.  Entries are committed with
+:func:`repro.parallel.journal.atomic_write_text`, so a crash mid-write
+leaves the previous entry (or nothing), never a torn file.
+``scorecard`` is the headline consumer: in one ``python -m repro all``
+batch it re-grades sub-experiments from their just-written cache
+entries instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -31,15 +39,25 @@ from __future__ import annotations
 import hashlib
 import json
 import pathlib
+from dataclasses import dataclass
 
 import repro
 from repro.obs.metrics import get_registry
 from repro.obs.tracebus import NO_SIM_TIME, get_bus
+from repro.parallel.journal import atomic_write_text
 
-__all__ = ["ResultCache", "source_fingerprint", "cache_key"]
+__all__ = [
+    "ResultCache",
+    "source_fingerprint",
+    "cache_key",
+    "rows_checksum",
+    "CacheEntryReport",
+    "scan_cache_dir",
+]
 
 #: Bump to invalidate every existing cache entry on format changes.
-CACHE_VERSION = 1
+#: v2 added the per-entry ``crc`` field (rows checksum).
+CACHE_VERSION = 2
 
 _fingerprint_memo: dict[pathlib.Path, str] = {}
 
@@ -79,6 +97,12 @@ def _canon(value):
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return repr(value)
+
+
+def rows_checksum(rows: list) -> str:
+    """Checksum over the canonical JSON form of an entry's rows."""
+    payload = json.dumps(_canon(rows), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 def cache_key(
@@ -136,16 +160,25 @@ class ResultCache:
         path = self._path(
             exp_id, self.key(exp_id, kwargs, quick=quick, seed=seed)
         )
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return self._miss(exp_id)
-        rows = payload.get("rows") if isinstance(payload, dict) else None
-        if not isinstance(rows, list):
+        report = _check_entry(path)
+        if report.status == "corrupt":
+            # detected bit rot: surface it, recompute instead of replaying
+            get_registry().counter("cache_corrupt").inc()
+            get_bus().emit(
+                NO_SIM_TIME,
+                "cache_miss",
+                -1,
+                exp_id=exp_id,
+                corrupt=True,
+                reason=report.reason,
+            )
+            get_registry().counter("cache_misses").inc()
+            return None
+        if report.status != "ok":
             return self._miss(exp_id)
         get_registry().counter("cache_hits").inc()
         get_bus().emit(NO_SIM_TIME, "cache_hit", -1, exp_id=exp_id)
-        return rows
+        return report.rows
 
     def _miss(self, exp_id: str) -> None:
         """Count a lookup miss (no-op instruments when obs is off)."""
@@ -175,12 +208,78 @@ class ResultCache:
             "rows": rows,
         }
         try:
+            payload["crc"] = rows_checksum(rows)
             text = json.dumps(payload)
         except (TypeError, ValueError):
             return None
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(exp_id, key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(text + "\n")
-        tmp.replace(path)  # atomic: concurrent writers race benignly
+        # durable + atomic: concurrent writers race benignly, a crash
+        # mid-write leaves the previous entry (or nothing), never a torn one
+        atomic_write_text(path, text + "\n")
         return path
+
+    # -- operator verbs (``repro cache verify`` / ``prune``) -----------
+    def scan(self) -> list["CacheEntryReport"]:
+        """Checksum-verify every entry under :attr:`root`."""
+        return scan_cache_dir(self.root)
+
+
+@dataclass(frozen=True)
+class CacheEntryReport:
+    """Verdict on one cache file from :func:`scan_cache_dir`.
+
+    ``status`` is ``"ok"``, ``"corrupt"`` (bit rot, torn write, schema
+    damage — the entry can only mislead), ``"stale"`` (valid but a
+    previous format version — harmless, will never hit), or
+    ``"missing"`` (unreadable/absent).
+    """
+
+    path: pathlib.Path
+    status: str
+    reason: str = ""
+    rows: list | None = None
+
+
+def _check_entry(path: pathlib.Path) -> CacheEntryReport:
+    """Classify one cache file: ok / corrupt / stale / missing."""
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        return CacheEntryReport(path, "missing", f"unreadable: {exc}")
+    try:
+        payload = json.loads(raw.decode())
+    except UnicodeDecodeError:
+        return CacheEntryReport(path, "corrupt", "not valid UTF-8")
+    except ValueError:
+        return CacheEntryReport(path, "corrupt", "not valid JSON")
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("rows"), list
+    ):
+        return CacheEntryReport(path, "corrupt", "entry schema damaged")
+    version = payload.get("version")
+    if version != CACHE_VERSION:
+        return CacheEntryReport(
+            path, "stale", f"format version {version} != {CACHE_VERSION}"
+        )
+    crc = payload.get("crc")
+    if not isinstance(crc, str):
+        return CacheEntryReport(path, "corrupt", "checksum missing")
+    actual = rows_checksum(payload["rows"])
+    if actual != crc:
+        return CacheEntryReport(
+            path, "corrupt", f"checksum mismatch ({actual} != {crc})"
+        )
+    return CacheEntryReport(path, "ok", rows=payload["rows"])
+
+
+def scan_cache_dir(root: pathlib.Path | str) -> list[CacheEntryReport]:
+    """Verify every ``*.json`` entry under ``root`` (sorted by name).
+
+    Leftover ``*.tmp.*`` files from interrupted writes are not entries
+    and are not reported; ``repro cache prune`` sweeps them separately.
+    """
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        return []
+    return [_check_entry(path) for path in sorted(root.glob("*.json"))]

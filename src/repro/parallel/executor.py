@@ -1,132 +1,54 @@
 """Inter-experiment process-pool executor.
 
 ``python -m repro all --jobs N`` dispatches independent experiments to
-worker processes.  Division of labour:
+worker processes.  Since the supervised-pool rework the heavy lifting
+lives in :mod:`repro.parallel.supervisor`; this module keeps the
+CLI-facing :class:`ParallelExecutor` surface stable:
 
 * **Workers** run :func:`repro.experiments.run_experiment` — each in
   the *main thread of its own process*, so the ``SIGALRM`` watchdog is
-  fully armed there (the serial CLI shares this property; only
-  embedders running experiments on secondary threads lose it).  A
-  worker reports exactly one ``(status, payload)`` message back over
-  its pipe and exits.
+  fully armed there (the worker's heartbeat thread is a side thread;
+  the task body stays on the main thread).  Workers are now *warm*:
+  spawned once per run and fed tasks over their pipes until the queue
+  drains.
 * **The parent** owns every side effect: it is the single writer of
-  the checkpoint file (``on_complete`` fires in completion order), it
-  renders results, and it enforces a **process-level timeout** — a
-  worker that blows through ``timeout`` plus a grace period is
-  terminated outright, which works even against code that swallows the
-  in-worker alarm (``except BaseException`` loops, C extensions
-  holding the GIL between bytecodes, masked signals).
+  the checkpoint journal (``on_complete`` fires in completion order),
+  it renders results, and it supervises workers — process-level
+  timeouts, heartbeat-based hang detection, bounded re-execution of
+  tasks whose worker crashed, and degradation to serial in-parent
+  execution when the restart budget runs out.
 
 Determinism: a worker computes rows with exactly the same
 ``run_experiment`` call the serial path uses, and nothing about
-scheduling feeds the computation, so rows are invariant to ``--jobs``.
-Results are *reported* in submission order; only checkpoint entries
-land in completion order.
+scheduling (or supervision — re-execution reruns the same seeded body)
+feeds the computation, so rows are invariant to ``--jobs`` and to any
+chaos schedule that lets the run complete.  Results are *reported* in
+submission order; only checkpoint entries land in completion order.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import multiprocessing.connection
-import time
-from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import InvalidParameterError
-from repro.parallel.pool import best_start_method
+from repro.parallel.retry import RetryPolicy
+from repro.parallel.supervisor import (
+    ExperimentOutcome,
+    ExperimentTask,
+    SupervisedPool,
+)
 
 __all__ = ["ExperimentTask", "ExperimentOutcome", "ParallelExecutor"]
 
 
-@dataclass(frozen=True)
-class ExperimentTask:
-    """Everything a worker needs to run one experiment (picklable)."""
-
-    exp_id: str
-    quick: bool = False
-    seed: int | None = None
-    timeout: float | None = None
-    retries: int = 0
-    cache_dir: str | None = None
-    fingerprint: str | None = None
-    overrides: dict = field(default_factory=dict)
-    #: run under a fresh obs capture and ship the metric snapshot +
-    #: trace events back alongside the result
-    collect: bool = False
-
-
-@dataclass
-class ExperimentOutcome:
-    """What became of one dispatched experiment."""
-
-    exp_id: str
-    status: str  # "ok" | "failed" | "skipped"
-    result: object | None = None  # ExperimentResult when status == "ok"
-    error_type: str | None = None
-    error: str | None = None
-    elapsed_s: float = 0.0
-    #: per-experiment observability (only with ``collect=True``):
-    #: a MetricsRegistry snapshot and the worker's ObsEvent list
-    metrics: dict | None = None
-    events: list | None = None
-
-    @property
-    def ok(self) -> bool:
-        return self.status == "ok"
-
-
-def _worker_entry(conn, task: ExperimentTask) -> None:  # simlint: disable=DET004 -- the seed rides inside the ExperimentTask payload; run_experiment derives every stream from it
-    """Run one experiment in a worker process; report over ``conn``.
-
-    Every outcome — including the watchdog timeout and interrupts —
-    crosses the process boundary as data: the parent turns it back
-    into a failure outcome, so nothing is swallowed, merely relocated.
-    """
-    from contextlib import nullcontext
-
-    from repro.experiments.registry import run_experiment
-    from repro.obs import capture
-    from repro.parallel.cache import ResultCache
-
-    try:
-        cache = (
-            ResultCache(task.cache_dir, fingerprint=task.fingerprint)
-            if task.cache_dir
-            else None
-        )
-        with (capture() if task.collect else nullcontext()) as cap:
-            result = run_experiment(
-                task.exp_id,
-                quick=task.quick,
-                seed=task.seed,
-                timeout=task.timeout,
-                retries=task.retries,
-                cache=cache,
-                **task.overrides,
-            )
-        if cap is not None:
-            payload = ("ok", (result, cap.snapshot(), cap.events))
-        else:
-            payload = ("ok", result)
-    except BaseException as exc:  # simlint: disable=ERR002,ERR003 -- process boundary: the parent re-raises this as a failure outcome; a worker must never die silently
-        payload = ("failed", (type(exc).__name__, str(exc)))
-    try:
-        conn.send(payload)
-    except Exception:  # simlint: disable=ERR002 -- unpicklable result: downgrade to a reportable failure rather than hanging the parent
-        conn.send(
-            ("failed", ("ExperimentError", "result could not be pickled"))
-        )
-    finally:
-        conn.close()
-
-
 class ParallelExecutor:
-    """Fan ``exp_ids`` out over up to ``jobs`` worker processes.
+    """Fan ``exp_ids`` out over a supervised pool of ``jobs`` workers.
 
     Parameters mirror the serial CLI path; ``kill_grace`` is the slack
     after ``timeout`` before the parent stops trusting the in-worker
-    watchdog and terminates the process itself.
+    watchdog and kills the process itself.  ``retries`` builds a
+    :class:`~repro.parallel.retry.RetryPolicy` for callers that predate
+    it; pass ``retry`` to control crash re-execution and the worker
+    restart budget too.
     """
 
     def __init__(
@@ -137,30 +59,42 @@ class ParallelExecutor:
         seed: int | None = None,
         timeout: float | None = None,
         retries: int = 0,
+        retry: RetryPolicy | None = None,
         cache_dir: str | None = None,
         fingerprint: str | None = None,
         overrides: dict | None = None,
         collect: bool = False,
         kill_grace: float = 5.0,
         poll_interval: float = 0.05,
+        heartbeat_timeout: float | None = None,
+        chaos=None,
         start_method: str | None = None,
     ) -> None:
-        if jobs < 1:
-            raise InvalidParameterError(f"need jobs >= 1, got {jobs}")
         self.jobs = jobs
         self.quick = quick
         self.seed = seed
         self.timeout = timeout
-        self.retries = retries
+        self.retry = retry if retry is not None else RetryPolicy(retries=retries)
         self.cache_dir = cache_dir
         self.fingerprint = fingerprint
         self.overrides = dict(overrides or {})
         self.collect = collect
-        self.kill_grace = kill_grace
-        self.poll_interval = poll_interval
-        self._ctx = multiprocessing.get_context(
-            start_method or best_start_method()
+        pool_kwargs = dict(
+            retry=self.retry,
+            timeout=timeout,
+            kill_grace=kill_grace,
+            poll_interval=poll_interval,
+            chaos=chaos,
+            start_method=start_method,
         )
+        if heartbeat_timeout is not None:
+            pool_kwargs["heartbeat_timeout"] = heartbeat_timeout
+        self.pool = SupervisedPool(jobs, **pool_kwargs)
+
+    @property
+    def stats(self):
+        """Supervision counters from the most recent :meth:`run`."""
+        return self.pool.stats
 
     # ------------------------------------------------------------------
     def _task(self, exp_id: str) -> ExperimentTask:
@@ -169,7 +103,7 @@ class ParallelExecutor:
             quick=self.quick,
             seed=self.seed,
             timeout=self.timeout,
-            retries=self.retries,
+            retry=self.retry,
             cache_dir=self.cache_dir,
             fingerprint=self.fingerprint,
             overrides=self.overrides,
@@ -191,105 +125,12 @@ class ParallelExecutor:
         running experiments finish, unstarted ones come back
         ``"skipped"``.
         """
-        pending: deque[str] = deque(exp_ids)
-        live: dict = {}  # conn -> (process, exp_id, start time)
-        outcomes: dict[str, ExperimentOutcome] = {}
-        failed = False
-
-        def record(outcome: ExperimentOutcome) -> None:
-            nonlocal failed
-            outcomes[outcome.exp_id] = outcome
-            if outcome.status == "failed":
-                failed = True
-            if on_complete is not None:
-                on_complete(outcome)
-
-        while pending or live:
-            while (
-                pending
-                and len(live) < self.jobs
-                and not (stop_on_failure and failed)
-            ):
-                exp_id = pending.popleft()
-                recv_conn, send_conn = self._ctx.Pipe(duplex=False)
-                proc = self._ctx.Process(
-                    target=_worker_entry,
-                    args=(send_conn, self._task(exp_id)),
-                    name=f"repro-{exp_id}",
-                )
-                proc.start()
-                send_conn.close()  # parent keeps only the read end
-                live[recv_conn] = (proc, exp_id, time.monotonic())
-            if not live:
-                break  # stop_on_failure drained the launch loop
-            ready = multiprocessing.connection.wait(
-                list(live), timeout=self.poll_interval
-            )
-            now = time.monotonic()
-            for conn in ready:
-                proc, exp_id, start = live.pop(conn)
-                try:
-                    status, payload = conn.recv()
-                except (EOFError, OSError):
-                    proc.join()  # reap first so exitcode is populated
-                    status, payload = "failed", (
-                        "ExperimentError",
-                        f"worker for {exp_id!r} exited without a result "
-                        f"(exit code {proc.exitcode})",
-                    )
-                conn.close()
-                proc.join()
-                if status == "ok":
-                    metrics = events = None
-                    if self.collect:
-                        payload, metrics, events = payload
-                    record(
-                        ExperimentOutcome(
-                            exp_id,
-                            "ok",
-                            result=payload,
-                            elapsed_s=now - start,
-                            metrics=metrics,
-                            events=events,
-                        )
-                    )
-                else:
-                    error_type, error = payload
-                    record(
-                        ExperimentOutcome(
-                            exp_id,
-                            "failed",
-                            error_type=error_type,
-                            error=error,
-                            elapsed_s=now - start,
-                        )
-                    )
-            if self.timeout is not None:
-                budget = self.timeout + self.kill_grace
-                for conn in [
-                    c for c, (_, _, s) in live.items() if now - s > budget
-                ]:
-                    proc, exp_id, start = live.pop(conn)
-                    proc.terminate()
-                    proc.join(1.0)
-                    if proc.is_alive():  # pragma: no cover - SIGTERM blocked
-                        proc.kill()
-                        proc.join()
-                    conn.close()
-                    record(
-                        ExperimentOutcome(
-                            exp_id,
-                            "failed",
-                            error_type="ExperimentTimeoutError",
-                            error=(
-                                f"experiment {exp_id!r} exceeded its "
-                                f"{self.timeout:g}s wall-clock budget; "
-                                f"worker process killed by the parent "
-                                f"(in-worker watchdog did not fire)"
-                            ),
-                            elapsed_s=now - start,
-                        )
-                    )
-        for exp_id in pending:  # unstarted under stop_on_failure
-            outcomes[exp_id] = ExperimentOutcome(exp_id, "skipped")
-        return [outcomes[exp_id] for exp_id in exp_ids if exp_id in outcomes]
+        outcomes = self.pool.run(
+            [self._task(exp_id) for exp_id in exp_ids],
+            on_outcome=on_complete,
+            stop_on_failure=stop_on_failure,
+        )
+        for exp_id in exp_ids:  # unstarted under stop_on_failure
+            if exp_id not in outcomes:
+                outcomes[exp_id] = ExperimentOutcome(exp_id, "skipped")
+        return [outcomes[exp_id] for exp_id in exp_ids]

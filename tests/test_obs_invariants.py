@@ -107,7 +107,11 @@ class TestCacheCounters:
         path.write_text("{not json")
         with capture() as cap:
             assert cache.get_rows("e", {}, quick=True, seed=1) is None
-        assert cap.snapshot()["counters"] == {"cache_misses": 1}
+        # detected bit rot is both counted in its own right and a miss
+        assert cap.snapshot()["counters"] == {
+            "cache_corrupt": 1,
+            "cache_misses": 1,
+        }
 
 
 class TestCliDeterminism:

@@ -27,7 +27,9 @@ class TestEvent:
     def test_kind_vocabulary(self):
         assert "commit" in EVENT_KINDS
         assert "cache_miss" in EVENT_KINDS
-        assert len(EVENT_KINDS) == 11
+        assert "worker_crashed" in EVENT_KINDS
+        assert "journal_recovered" in EVENT_KINDS
+        assert len(EVENT_KINDS) == 15
 
     def test_format_is_one_line(self):
         event = ObsEvent(12.5, "abort", 3, {"reason": "conflict_timeout"})

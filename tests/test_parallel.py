@@ -109,6 +109,13 @@ def _runs(path) -> int:
         return 0
 
 
+def _ckpt_done(path) -> dict:
+    """Replay a checkpoint journal's done map (read-only)."""
+    from repro.parallel import recover
+
+    return recover(path, truncate=False).done_map()
+
+
 # ---------------------------------------------------------------------------
 class TestPools:
     def test_make_pool_serial(self):
@@ -306,7 +313,7 @@ class TestCLIParallel:
         batch = ["zz_pa", "zz_pb", "zz_pc", "--jobs", "2", "--keep-going",
                  "--checkpoint", str(ckpt)]
         assert main(batch) == 1  # zz_pb failed, others completed
-        done = json.loads(ckpt.read_text())["done"]
+        done = _ckpt_done(ckpt)
         assert done["zz_pa"]["status"] == "ok"
         assert done["zz_pb"]["status"] == "failed"
         assert done["zz_pb"]["error_type"] == "SimulationError"
@@ -331,8 +338,47 @@ class TestCLIParallel:
         ) == 0
         assert _runs(mark_a) == 1  # not re-run
         assert _runs(mark_b) == 1
-        done = json.loads(ckpt.read_text())["done"]
+        done = _ckpt_done(ckpt)
         assert set(done) == {"zz_ra", "zz_rb"}
+
+    def test_sigkill_mid_checkpoint_write_resumes_byte_identical(
+        self, scratch, tmp_path, capsys
+    ):
+        """SIGKILL during a journal append leaves a torn final record.
+        Recovery must truncate to the last durable record, and the
+        resumed run's rows must be byte-identical to an uninterrupted
+        run (the crash-consistency headline, docs/ROBUSTNESS.md §3)."""
+        from repro.faults import tear_tail
+
+        marks = [tmp_path / f"{n}.log" for n in "abc"]
+        ids = [
+            scratch(f"zz_tk{n}", _MarkingRunner(m))
+            for n, m in zip("abc", marks)
+        ]
+        clean_out = tmp_path / "clean"
+        assert main([*ids, "--json", "--out", str(clean_out)]) == 0
+        # interrupted run: two experiments done, then the journal's
+        # tail is torn exactly as a kill mid-append would leave it
+        ckpt = tmp_path / "ckpt.json"
+        assert main([ids[0], ids[1], "--checkpoint", str(ckpt)]) == 0
+        assert tear_tail(ckpt) > 0
+        done = _ckpt_done(ckpt)
+        assert set(done) == {ids[0]}  # recovered to last durable record
+        # resume: the torn record's experiment re-runs, the durable one
+        # is skipped, and every row matches the uninterrupted run
+        resumed_out = tmp_path / "resumed"
+        capsys.readouterr()
+        assert main(
+            [*ids, "--jobs", "2", "--checkpoint", str(ckpt), "--resume",
+             "--json", "--out", str(resumed_out)]
+        ) == 0
+        assert "recovered a torn tail" in capsys.readouterr().err
+        assert _runs(marks[0]) == 2  # clean run + interrupted run only
+        assert _runs(marks[1]) == 3  # re-run after the torn record
+        for exp_id in ids[1:]:
+            assert (resumed_out / f"{exp_id}.json").read_bytes() == (
+                clean_out / f"{exp_id}.json"
+            ).read_bytes()
 
     def test_cache_flag_roundtrip(self, scratch, tmp_path, monkeypatch,
                                   capsys):

@@ -41,6 +41,13 @@ def _rows(**kw):
     return [{"x": 1}]
 
 
+def _ckpt_done(path) -> dict:
+    """Replay a checkpoint journal's done map (read-only)."""
+    from repro.parallel import recover
+
+    return recover(path, truncate=False).done_map()
+
+
 def _hang(**kw):  # killed only by the watchdog
     while True:
         time.sleep(0.02)
@@ -222,9 +229,9 @@ class TestCli:
         ckpt = tmp_path / "ck.json"
         rc = main([good, bad, "--keep-going", "--checkpoint", str(ckpt)])
         assert rc == 1
-        state = json.loads(ckpt.read_text())
-        assert state["done"][good]["status"] == "ok"
-        assert state["done"][bad]["status"] == "failed"
+        done = _ckpt_done(ckpt)
+        assert done[good]["status"] == "ok"
+        assert done[bad]["status"] == "failed"
         assert len(calls) == 1
 
         # resume: the completed experiment is skipped, the failed one
@@ -251,8 +258,7 @@ class TestCli:
         args = [exp_id, "--keep-going", "--checkpoint", str(ckpt), "--resume"]
         assert main(args) == 1
         assert main(args) == 0  # re-attempt succeeds, checkpoint updated
-        state = json.loads(ckpt.read_text())
-        assert state["done"][exp_id]["status"] == "ok"
+        assert _ckpt_done(ckpt)[exp_id]["status"] == "ok"
         assert main(args) == 0  # now skipped entirely
         assert len(attempts) == 2
 
@@ -281,7 +287,7 @@ class TestCli:
         ckpt = tmp_path / "ck.json"
         ckpt.write_text("{not json")
         assert main([exp_id, "--checkpoint", str(ckpt), "--resume"]) == 0
-        assert json.loads(ckpt.read_text())["done"][exp_id]["status"] == "ok"
+        assert _ckpt_done(ckpt)[exp_id]["status"] == "ok"
 
     def test_watchdog_with_keep_going_still_reports(self, scratch, capsys):
         """PR acceptance: a hanging experiment is killed by the

@@ -313,6 +313,69 @@ class TestExcepts:
 
 
 # ---------------------------------------------------------------------------
+# ERR004 — non-atomic artifact writes
+# ---------------------------------------------------------------------------
+class TestAtomicArtifactWrite:
+    def test_truncating_open_of_checkpoint_flagged(self):
+        src = (
+            "def save(checkpoint_path, text):\n"
+            '    with open(checkpoint_path, "w") as fh:\n'
+            "        fh.write(text)\n"
+        )
+        assert hits(src) == ["ERR004"]
+
+    def test_mode_keyword_flagged(self):
+        src = (
+            "def save(ckpt, blob):\n"
+            '    with open(ckpt, mode="wb") as fh:\n'
+            "        fh.write(blob)\n"
+        )
+        assert hits(src) == ["ERR004"]
+
+    def test_write_text_on_cache_entry_flagged(self):
+        src = (
+            "def save(cache_entry, text):\n"
+            "    cache_entry.write_text(text)\n"
+        )
+        assert hits(src) == ["ERR004"]
+
+    def test_append_mode_clean(self):
+        src = (
+            "def save(journal_path, line):\n"
+            '    with open(journal_path, "a") as fh:\n'
+            "        fh.write(line)\n"
+        )
+        assert hits(src) == []
+
+    def test_read_mode_clean(self):
+        src = (
+            "def load(checkpoint_path):\n"
+            "    with open(checkpoint_path) as fh:\n"
+            "        return fh.read()\n"
+        )
+        assert hits(src) == []
+
+    def test_non_artifact_write_clean(self):
+        src = (
+            "def save(report_path, text):\n"
+            '    with open(report_path, "w") as fh:\n'
+            "        fh.write(text)\n"
+        )
+        assert hits(src) == []
+
+    def test_suppression_with_justification(self):
+        src = (
+            "def save(ckpt, text):\n"
+            "    ckpt.write_text(text)  "
+            "# simlint: disable=ERR004 -- torn-write test fixture\n"
+        )
+        assert hits(src) == []
+        (sup,) = suppressed(src)
+        assert sup.finding.rule == "ERR004"
+        assert sup.reason == "torn-write test fixture"
+
+
+# ---------------------------------------------------------------------------
 # API001/002 — interface hygiene
 # ---------------------------------------------------------------------------
 class TestApi:
