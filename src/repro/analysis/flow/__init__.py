@@ -1,0 +1,27 @@
+"""Whole-program determinism analysis (the ``--deep`` pass).
+
+Call-graph purity inference + RNG seed-provenance tracking over the
+whole project: :mod:`extract` summarizes each module once,
+:mod:`graph` resolves calls and propagates effect signatures to
+fixpoint, :mod:`driver` orchestrates with a content-addressed cache
+(:mod:`cache`).  Findings carry rule ids from the FLOW family
+(:mod:`repro.analysis.rules.flow`) and print full call chains.
+"""
+
+from repro.analysis.flow.cache import (
+    AnalysisCache,
+    DEFAULT_ANALYSIS_CACHE_DIR,
+)
+from repro.analysis.flow.driver import analyze_sources, module_names
+from repro.analysis.flow.extract import ANALYSIS_VERSION, extract_module
+from repro.analysis.flow.graph import ProjectGraph
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "AnalysisCache",
+    "DEFAULT_ANALYSIS_CACHE_DIR",
+    "ProjectGraph",
+    "analyze_sources",
+    "extract_module",
+    "module_names",
+]

@@ -1,0 +1,96 @@
+"""Content-addressed cache for the deep analysis pass.
+
+Two granularities, both under ``.repro-cache/analysis/`` by default:
+
+* **file entries** (``file-<key>.json``) — one module summary, keyed
+  on ``ANALYSIS_VERSION | module | sha256(source)``.  Editing one file
+  re-extracts only that file.
+* **run entries** (``run-<key>.json``) — the raw FLOW findings for a
+  whole tree, keyed on the sorted set of file keys.  An unchanged tree
+  skips graph construction entirely.
+
+Same validity rules as the result cache (:mod:`repro.parallel.cache`):
+writes are atomic (temp + fsync + rename), a corrupt or
+version-mismatched entry is a miss, never an error.  Raw findings are
+cached *before* selection filtering and baseline matching, so one
+entry serves every ``--select``/``--baseline`` configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.flow.extract import ANALYSIS_VERSION
+from repro.parallel.journal import atomic_write_text
+
+__all__ = ["AnalysisCache", "DEFAULT_ANALYSIS_CACHE_DIR"]
+
+DEFAULT_ANALYSIS_CACHE_DIR = ".repro-cache/analysis"
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:20]
+
+
+class AnalysisCache:
+    """File + run cache rooted at one directory."""
+
+    def __init__(self, root: str | Path = DEFAULT_ANALYSIS_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    # -- keys ---------------------------------------------------------
+    @staticmethod
+    def file_key(module: str, source: str) -> str:
+        return _digest(f"{ANALYSIS_VERSION}|{module}|{_digest(source)}")
+
+    @staticmethod
+    def run_key(file_keys: list[str]) -> str:
+        return _digest(f"{ANALYSIS_VERSION}|" + "|".join(sorted(file_keys)))
+
+    # -- file entries -------------------------------------------------
+    def load_file(self, key: str) -> dict | None:
+        entry = self.root / f"file-{key}.json"
+        try:
+            data = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != ANALYSIS_VERSION
+        ):
+            return None
+        return data
+
+    def store_file(self, key: str, summary: dict) -> None:
+        self._write(f"file-{key}.json", summary)
+
+    # -- run entries --------------------------------------------------
+    def load_run(self, key: str) -> list[dict] | None:
+        entry = self.root / f"run-{key}.json"
+        try:
+            data = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != ANALYSIS_VERSION
+            or not isinstance(data.get("findings"), list)
+        ):
+            return None
+        return data["findings"]
+
+    def store_run(self, key: str, findings: list[dict]) -> None:
+        self._write(
+            f"run-{key}.json",
+            {"version": ANALYSIS_VERSION, "findings": findings},
+        )
+
+    def _write(self, name: str, payload: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, indent=None, sort_keys=True)
+        try:
+            atomic_write_text(self.root / name, text)
+        except OSError:  # cache is best-effort: never fail the lint run
+            pass

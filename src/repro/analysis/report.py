@@ -19,7 +19,9 @@ def render_human(result: LintResult) -> str:
     ]
     n = len(result.findings)
     n_sup = len(result.suppressed)
+    n_base = len(result.baselined)
     sup_note = f", {n_sup} suppressed" if n_sup else ""
+    sup_note += f", {n_base} baselined" if n_base else ""
     if n == 0:
         summary = (
             f"simlint: clean — 0 findings in {result.files_scanned} "
@@ -62,6 +64,13 @@ def render_json(result: LintResult) -> str:
             }
             for s in result.suppressed
         ],
+        # deep-pass sections: full chains for live FLOW findings, plus
+        # the accepted (baselined) ones with their justifications.
+        # analysis_stats is deliberately NOT serialized — cache hit
+        # counts vary run to run, and cached reruns must stay
+        # byte-identical.
+        "flow": result.flow,
+        "baselined": result.baselined,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

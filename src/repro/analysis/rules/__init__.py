@@ -16,7 +16,15 @@ Rules are grouped by contract family:
           implement the protocol and are registered
 ``OBS``   observability: sim-critical code reports through the
           metrics registry / trace bus, never bare print or logging
+``PRG``   pragma hygiene: suppressions must name real rules
+``FLOW``  whole-program determinism (``--deep`` only): transitive
+          effect reachability + RNG seed provenance over the project
+          call graph (:mod:`repro.analysis.flow`)
 ========  ==========================================================
+
+FLOW rules carry ``deep = True``: they appear in the catalog and in
+selection validation, but findings only exist under ``repro lint
+--deep`` — their ``check`` is a no-op.
 """
 
 from __future__ import annotations
@@ -47,8 +55,10 @@ from repro.analysis.rules.errors import (
     BroadExceptRule,
     SwallowedWatchdogRule,
 )
+from repro.analysis.rules.flow import FLOW_RULES
 from repro.analysis.rules.obs import PrintLoggingRule
 from repro.analysis.rules.ordering import SetIterationRule, SetPopRule
+from repro.analysis.rules.prg import PragmaHygieneRule
 
 __all__ = [
     "Finding",
@@ -81,6 +91,8 @@ ALL_RULES: tuple[Rule, ...] = (
     RegistrationRule(),
     InjectorHookRule(),
     PrintLoggingRule(),
+    PragmaHygieneRule(),
+    *FLOW_RULES,
 )
 
 

@@ -66,6 +66,8 @@ class FileContext:
     suppressions: dict[int, set[str] | None] = field(default_factory=dict)
     #: line -> justification text after ``--`` in the pragma
     reasons: dict[int, str] = field(default_factory=dict)
+    #: PRG001 findings for unknown/malformed pragmas (engine-produced)
+    pragma_findings: list[Finding] = field(default_factory=list)
 
     def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
         return Finding(

@@ -11,6 +11,7 @@ Examples::
     python -m repro fig3_stack --jobs 8          # intra-experiment shards
     python -m repro all --no-cache --cache-dir /tmp/repro-cache
     python -m repro lint --list-rules
+    python -m repro analyze                      # lint --deep alias
     python -m repro cache verify
     python -m repro all --quick --jobs 4 --chaos 1234 --resume
 
@@ -475,6 +476,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # alias for `lint --deep`: the whole-program determinism pass
+        # (call-graph purity + seed provenance; repro.analysis.flow)
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(["--deep", *argv[1:]])
     if argv and argv[0] == "trace":
         # run one experiment under the trace bus and export its event
         # stream; see repro.obs.cli and docs/OBSERVABILITY.md

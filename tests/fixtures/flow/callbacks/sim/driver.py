@@ -1,0 +1,13 @@
+"""Fixture: impurity reached only through a lambda callback and a
+function reference passed as an argument."""
+
+from util.apply import apply_all
+from util.wallclock import stamp
+
+
+def collect(xs):
+    return apply_all(lambda x: stamp(x), xs)
+
+
+def collect_ref(xs):
+    return apply_all(stamp, xs)

@@ -1,0 +1,5 @@
+"""Fixture higher-order helper (pure by itself)."""
+
+
+def apply_all(fn, xs):
+    return [fn(x) for x in xs]

@@ -1,0 +1,11 @@
+"""Fixture leaf: wall clock behind one private hop."""
+
+import time
+
+
+def stamp(x):
+    return x + _now()
+
+
+def _now():
+    return time.time()

@@ -1,0 +1,9 @@
+"""Fixture base class in a non-sim module (inherited method edges)."""
+
+
+class EngineBase:
+    def tick(self, n):
+        return self._fold(n)
+
+    def _fold(self, n):
+        return n * 2

@@ -1,0 +1,27 @@
+"""Fixture: method-resolution edges — self-calls, an attribute-typed
+instance call, a cross-module base class, and a local bound method."""
+
+import time
+
+from base.engine import EngineBase
+
+
+class Probe:
+    def now(self):
+        return time.perf_counter()
+
+
+class Machine(EngineBase):
+    def __init__(self):
+        self.probe = Probe()
+
+    def run(self, n):
+        return self._spin(n)
+
+    def _spin(self, n):
+        return self.tick(n) + self.probe.now()
+
+
+def drive(n):
+    m = Machine()
+    return m.run(n)

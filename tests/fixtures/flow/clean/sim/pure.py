@@ -1,0 +1,10 @@
+"""Fixture: a fully deterministic sim module — the deep pass must
+report nothing here."""
+
+
+def advance(state, seed):
+    return _mix(state, seed)
+
+
+def _mix(state, seed):
+    return (state * 31 + seed) % 997

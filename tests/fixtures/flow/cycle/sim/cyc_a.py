@@ -1,0 +1,7 @@
+"""Fixture: half of an import cycle (a -> b -> a)."""
+
+from sim.cyc_b import pong
+
+
+def ping(n):
+    return pong(n)

@@ -1,0 +1,15 @@
+"""Fixture: other half of the import cycle, with the impure leaf."""
+
+import time
+
+from sim.cyc_a import ping
+
+
+def pong(n):
+    if n > 0:
+        return ping(n - 1)
+    return _leaf()
+
+
+def _leaf():
+    return time.time()

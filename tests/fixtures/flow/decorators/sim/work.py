@@ -1,0 +1,8 @@
+"""Fixture: impurity injected by a cross-module decorator."""
+
+from util.wrap import timed
+
+
+@timed
+def compute(n):
+    return n * 2

@@ -1,0 +1,12 @@
+"""Fixture decorator whose wrapper reads the wall clock."""
+
+import time
+
+
+def timed(fn):
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    return wrapper

@@ -1,0 +1,7 @@
+"""Fixture helper with a wall-clock leaf."""
+
+import time
+
+
+def stamp(seed):
+    return seed + time.monotonic()

@@ -1,0 +1,24 @@
+"""Fixture: seed-provenance cases — ambient generator creation, an
+ambient generator laundered through a helper, a module-level shared
+generator, and a correctly parameter-seeded one."""
+
+import numpy as np
+
+from util.mkrng import fresh_rng
+
+_RNG = np.random.default_rng()
+
+
+def draw(seed):
+    rng = fresh_rng()
+    return rng.normal()
+
+
+def ambient(n):
+    gen = np.random.default_rng()
+    return gen.normal(size=n)
+
+
+def clean(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal()

@@ -1,0 +1,18 @@
+"""Fixture: a generator captured by a closure crossing a pool
+boundary (FLOW007), next to a clean per-task derivation."""
+
+import numpy as np
+
+
+def fan_out(pool, xs, seed):
+    rng = np.random.default_rng(seed)
+    return pool.map(lambda x: x * rng.normal(), xs)
+
+
+def fan_out_clean(pool, xs, seed):
+    return pool.map(_shard_task, [(x, seed) for x in xs])
+
+
+def _shard_task(x, seed):
+    rng = np.random.default_rng(seed)
+    return x * rng.normal()

@@ -1,0 +1,8 @@
+"""Fixture helper that *returns* an ambient-seeded generator — the
+laundering case FLOW006's interprocedural pass must catch."""
+
+import numpy as np
+
+
+def fresh_rng():
+    return np.random.default_rng()

@@ -1,0 +1,7 @@
+"""Fixture: core entry reaching numpy's global RNG cross-module."""
+
+from util.rnd import noise
+
+
+def draw(x):
+    return noise(x)

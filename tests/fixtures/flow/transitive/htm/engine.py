@@ -1,0 +1,12 @@
+"""Fixture: sim-critical entry reaching the wall clock through two
+intermediates, one same-module and one cross-module."""
+
+from util.timeutil import read_clock
+
+
+def step(state):
+    return _advance(state)
+
+
+def _advance(state):
+    return state + read_clock()

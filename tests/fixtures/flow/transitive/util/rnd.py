@@ -1,0 +1,11 @@
+"""Fixture helper: ambient numpy randomness behind a private hop."""
+
+import numpy as np
+
+
+def noise(x):
+    return x + _jitter()
+
+
+def _jitter():
+    return np.random.rand()

@@ -1,0 +1,11 @@
+"""Fixture helper module: hides a wall-clock read one frame deeper."""
+
+import time
+
+
+def read_clock():
+    return _now()
+
+
+def _now():
+    return time.time()

@@ -1,0 +1,85 @@
+"""Analysis-cache behavior: per-file and run-level hits, invalidation
+on edit, corruption tolerance, configuration independence, and
+byte-identical reports across cached reruns."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.flow import analyze_sources
+from repro.analysis.report import render_json
+from repro.analysis.sarif import render_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+
+def _sources():
+    return {
+        "pkg/sim/__init__.py": "",
+        "pkg/sim/a.py": (
+            "import time\n\n\ndef go(n):\n    return time.time() + n\n"
+        ),
+        "pkg/sim/b.py": "def pure(n):\n    return n + 1\n",
+    }
+
+
+class TestAnalysisCache:
+    def test_cold_then_warm(self, tmp_path):
+        first, stats1 = analyze_sources(_sources(), cache_dir=tmp_path)
+        assert stats1 == {"file_hits": 0, "file_misses": 3, "run_hit": 0}
+        second, stats2 = analyze_sources(_sources(), cache_dir=tmp_path)
+        assert stats2 == {"file_hits": 3, "file_misses": 0, "run_hit": 1}
+        assert first == second
+
+    def test_single_file_edit_invalidates_only_that_file(self, tmp_path):
+        analyze_sources(_sources(), cache_dir=tmp_path)
+        edited = _sources()
+        edited["pkg/sim/b.py"] = "def pure(n):\n    return n + 2\n"
+        _findings, stats = analyze_sources(edited, cache_dir=tmp_path)
+        assert stats == {"file_hits": 2, "file_misses": 1, "run_hit": 0}
+
+    def test_corrupt_entries_are_misses(self, tmp_path):
+        findings, _ = analyze_sources(_sources(), cache_dir=tmp_path)
+        for entry in tmp_path.iterdir():
+            entry.write_text("{not json", encoding="utf-8")
+        again, stats = analyze_sources(_sources(), cache_dir=tmp_path)
+        assert stats["run_hit"] == 0
+        assert stats["file_misses"] == 3
+        assert again == findings
+
+    def test_run_cache_is_configuration_independent(self, tmp_path):
+        """Raw findings are cached unfiltered: a --select change must
+        not be served stale subsets."""
+        result_all = lint_paths(
+            [FIXTURES / "transitive"], select=["FLOW"], deep=True,
+            cache_dir=tmp_path,
+        )
+        result_001 = lint_paths(
+            [FIXTURES / "transitive"], select=["FLOW001"], deep=True,
+            cache_dir=tmp_path,
+        )
+        assert result_001.analysis_stats["run_hit"] == 1
+        rules_all = {f["rule"] for f in result_all.flow}
+        assert rules_all == {"FLOW001", "FLOW002"}
+        assert {f["rule"] for f in result_001.flow} == {"FLOW001"}
+
+    def test_cached_rerun_reports_are_byte_identical(self, tmp_path):
+        kwargs = dict(select=["FLOW"], deep=True, cache_dir=tmp_path)
+        cold = lint_paths([FIXTURES / "transitive"], **kwargs)
+        warm = lint_paths([FIXTURES / "transitive"], **kwargs)
+        assert warm.analysis_stats["run_hit"] == 1
+        assert render_json(cold) == render_json(warm)
+        assert render_sarif(cold) == render_sarif(warm)
+        # stats differ between the runs but never leak into reports
+        assert cold.analysis_stats != warm.analysis_stats
+        assert "file_hits" not in render_json(cold)
+
+    def test_cache_entries_are_json(self, tmp_path):
+        analyze_sources(_sources(), cache_dir=tmp_path)
+        entries = sorted(tmp_path.iterdir())
+        assert any(e.name.startswith("file-") for e in entries)
+        assert any(e.name.startswith("run-") for e in entries)
+        for entry in entries:
+            json.loads(entry.read_text(encoding="utf-8"))
