@@ -9,10 +9,13 @@ and writes the measurement to ``BENCH_parallel.json`` at the repo
 root — machine speedup claims belong in version control next to the
 code that produced them.
 
-Speedup scales with physical cores; on a single-core runner it
-honestly records ~1x (process startup is pure overhead there), which
-is why ``cpu_count`` is part of the payload.  The cache is left off on
-both sides so both paths do the full computation.
+Speedup scales with physical cores; the payload records a full
+``scaling`` jobs-sweep (jobs in {1, 2, 4} by default) next to the
+headline ``--jobs`` point.  On a single-core runner the numbers
+honestly come out ~1x (process startup is pure overhead there), and
+the payload carries an explicit ``warning`` field in that regime so
+the artifact cannot be misread as a scaling measurement.  The cache is
+left off on both sides so both paths do the full computation.
 """
 
 from __future__ import annotations
@@ -45,13 +48,21 @@ def _rows_of(results) -> list:
     return [r.rows for r in results]
 
 
+#: Worker counts swept for the ``scaling`` curve (the headline
+#: ``--jobs`` point is added to the sweep if it is not already in it).
+SCALING_JOBS = (1, 2, 4)
+
+
 def run_bench(
     *,
     jobs: int,
     trials: int,
     experiments: tuple[str, ...] = DEFAULT_EXPERIMENTS,
+    scaling_jobs: tuple[int, ...] = SCALING_JOBS,
 ) -> dict[str, object]:
-    """Time the batch serially and at ``--jobs``; return the payload."""
+    """Time the batch serially and over the ``scaling_jobs`` sweep;
+    return the payload (headline ``parallel_s``/``speedup`` are the
+    ``--jobs`` point of the sweep)."""
     overrides = {"trials": trials}
 
     start = time.perf_counter()
@@ -60,18 +71,35 @@ def run_bench(
         for exp_id in experiments
     ]
     serial_s = time.perf_counter() - start
+    serial_rows = _rows_of(serial)
 
-    executor = ParallelExecutor(
-        jobs, quick=True, seed=BENCH_SEED, overrides=overrides
-    )
-    start = time.perf_counter()
-    outcomes = executor.run(list(experiments))
-    parallel_s = time.perf_counter() - start
-    failed = [o.exp_id for o in outcomes if not o.ok]
-    if failed:
-        raise RuntimeError(f"parallel run failed for: {', '.join(failed)}")
+    scaling: list[dict[str, object]] = []
+    headline: dict[str, object] | None = None
+    for n_jobs in sorted(set(scaling_jobs) | {jobs}):
+        executor = ParallelExecutor(
+            n_jobs, quick=True, seed=BENCH_SEED, overrides=overrides
+        )
+        start = time.perf_counter()
+        outcomes = executor.run(list(experiments))
+        parallel_s = time.perf_counter() - start
+        failed = [o.exp_id for o in outcomes if not o.ok]
+        if failed:
+            raise RuntimeError(
+                f"parallel run (jobs={n_jobs}) failed for: {', '.join(failed)}"
+            )
+        point = {
+            "jobs": n_jobs,
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 3),
+            "rows_identical": serial_rows
+            == _rows_of([o.result for o in outcomes]),
+        }
+        scaling.append(point)
+        if n_jobs == jobs:
+            headline = point
 
-    return {
+    assert headline is not None  # jobs is always in the sweep
+    payload: dict[str, object] = {
         "experiments": list(experiments),
         "quick": True,
         "seed": BENCH_SEED,
@@ -79,11 +107,18 @@ def run_bench(
         "jobs": jobs,
         "cpu_count": multiprocessing.cpu_count(),
         "serial_s": round(serial_s, 3),
-        "parallel_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 3),
-        "rows_identical": _rows_of(serial)
-        == _rows_of([o.result for o in outcomes]),
+        "parallel_s": headline["parallel_s"],
+        "speedup": headline["speedup"],
+        "rows_identical": all(p["rows_identical"] for p in scaling),
+        "scaling": scaling,
     }
+    if multiprocessing.cpu_count() == 1:
+        payload["warning"] = (
+            "cpu_count == 1: parallel 'speedup' on this runner measures "
+            "process overhead, not scaling; read the scaling curve on a "
+            "multi-core machine before drawing conclusions"
+        )
+    return payload
 
 
 def main(argv: list[str] | None = None) -> int:

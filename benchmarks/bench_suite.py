@@ -45,7 +45,9 @@ from repro.core.model import ConflictKind, ConflictModel
 from repro.core.requestor_wins import UniformRW
 from repro.core.verify import expected_cost
 from repro.experiments.tables import run_tab_ratios
+from repro.rngutil import seedseq_for
 from repro.sim.engine import Simulator
+from repro.sim.mc import TrialProgram, run_trials
 
 #: Seed recorded in the payload; the suite itself is deterministic.
 BENCH_SEED = 2018
@@ -221,6 +223,76 @@ def bench_des_event_loop(quick: bool, repeats: int) -> dict:
     }
 
 
+def _progress_program(y: float, gamma: int, **kwargs) -> TrialProgram:
+    """The Corollary 2 experiment shape: gamma conflicts per execution,
+    evenly spread over a transaction of running time y."""
+    conflicts = tuple(
+        (y * (1.0 - (i + 0.5) / gamma) + 1.0, 2) for i in range(gamma)
+    )
+    return TrialProgram(rho=y, conflicts=conflicts, k=2, B0=64.0, **kwargs)
+
+
+def bench_mc_cor2_trials(quick: bool, repeats: int) -> dict:
+    """Corollary 2 trials through the batched SoA Monte-Carlo engine.
+
+    Batched path: ``repro.sim.mc`` lockstep rounds (one array op per
+    conflict slot per attempt).  Scalar path: the golden reference —
+    per-trial ``TimedArena.run_transaction`` + ``BackoffPolicy`` over
+    the identical draw layout (bit-identical rows by contract).
+    """
+    n = 2000 if quick else 20000
+    program = _progress_program(4000.0, 6, factor=2.0)
+    root = seedseq_for(BENCH_SEED, "bench", "mc_cor2")
+
+    def batched_path():
+        run_trials(program, n, seed=root, engine="batch")
+
+    def scalar_path():
+        run_trials(program, n, seed=root, engine="scalar")
+
+    median_s = _median_time(batched_path, repeats)
+    baseline_s = _median_time(scalar_path, max(1, repeats // 3))
+    return {
+        "median_s": round(median_s, 6),
+        "repeats": repeats,
+        "ops": n,
+        "baseline_s": round(baseline_s, 6),
+        "speedup": round(baseline_s / max(median_s, 1e-12), 2),
+    }
+
+
+def bench_mc_ablation_grid(quick: bool, repeats: int) -> dict:
+    """The backoff-ablation grid (4 growth variants) through the batched
+    engine vs the scalar golden reference — the ``run_abl_backoff``
+    shape at bench size."""
+    n = 800 if quick else 8000
+    variants = (
+        dict(factor=2.0),
+        dict(factor=1.5),
+        dict(factor=1.0, increment=64.0),
+        dict(factor=1.0, increment=256.0),
+    )
+    programs = [_progress_program(2000.0, 3, **kw) for kw in variants]
+    roots = [
+        seedseq_for(BENCH_SEED, "bench", "mc_abl", i)
+        for i in range(len(programs))
+    ]
+
+    def grid(engine: str):
+        for program, root in zip(programs, roots):
+            run_trials(program, n, seed=root, engine=engine)
+
+    median_s = _median_time(lambda: grid("batch"), repeats)
+    baseline_s = _median_time(lambda: grid("scalar"), max(1, repeats // 3))
+    return {
+        "median_s": round(median_s, 6),
+        "repeats": repeats,
+        "ops": n * len(programs),
+        "baseline_s": round(baseline_s, 6),
+        "speedup": round(baseline_s / max(median_s, 1e-12), 2),
+    }
+
+
 #: Registry: name -> callable(quick, repeats) -> entry dict.
 BENCHES = {
     "regimes_theory_grid": bench_regimes_theory_grid,
@@ -228,6 +300,8 @@ BENCHES = {
     "ski_rental_grid": bench_ski_rental_grid,
     "tab_ratios": bench_tab_ratios,
     "des_event_loop": bench_des_event_loop,
+    "mc_cor2_trials": bench_mc_cor2_trials,
+    "mc_ablation_grid": bench_mc_ablation_grid,
 }
 
 

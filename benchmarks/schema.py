@@ -108,6 +108,21 @@ _PARALLEL_SPEC = {
     "speedup": ((int, float), True, _is_finite_number),
     "rows_identical": (bool, True, None),
     "generated_by": (str, True, None),
+    # jobs-sweep scaling curve (one entry per worker count, ascending);
+    # element shape checked against _SCALING_SPEC
+    "scaling": (list, False, lambda v: len(v) > 0),
+    # set when the measurement regime is unactionable (e.g. a
+    # single-core runner, where "speedup" only measures process
+    # overhead)
+    "warning": (str, False, lambda v: len(v) > 0),
+}
+
+#: One point of the ``scaling`` jobs-sweep inside ``BENCH_parallel.json``.
+_SCALING_SPEC = {
+    "jobs": (int, True, lambda v: v >= 1),
+    "parallel_s": ((int, float), True, _is_finite_number),
+    "speedup": ((int, float), True, _is_finite_number),
+    "rows_identical": (bool, True, None),
 }
 
 
@@ -135,6 +150,8 @@ def validate_core_payload(payload: dict) -> dict:
 def validate_parallel_payload(payload: dict) -> dict:
     """Validate a ``BENCH_parallel.json`` payload; returns it unchanged."""
     _check_fields(payload, _PARALLEL_SPEC, "payload")
+    for i, entry in enumerate(payload.get("scaling", [])):
+        _check_fields(entry, _SCALING_SPEC, f"scaling[{i}]")
     return payload
 
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.adversary import TimedArena
-from repro.core.backoff import BackoffPolicy
 from repro.core.hybrid import HybridResolver
 from repro.core.model import ConflictKind, ConflictModel
 from repro.core.policy import FixedDelayPolicy
@@ -26,7 +25,8 @@ from repro.core.requestor_wins import MeanConstrainedRW, UniformRW
 from repro.core.verify import competitive_ratio, constrained_competitive_ratio
 from repro.errors import InvalidParameterError
 from repro.htm import Machine, MachineParams, RandDelay
-from repro.rngutil import stream_for
+from repro.rngutil import seedseq_for
+from repro.sim.mc import TrialProgram
 from repro.workloads import QueueWorkload
 
 __all__ = [
@@ -335,10 +335,20 @@ def run_abl_backoff(
     gamma: int = 3,
     trials: int = 300,
     seed: int | None = None,
+    engine: str = "batch",
+    pool=None,
 ) -> list[dict[str, object]]:
-    """Multiplicative vs additive abort-cost growth: attempts to commit."""
+    """Multiplicative vs additive abort-cost growth: attempts to commit.
+
+    Each variant's ``trials`` transactions run through the batched SoA
+    engine (``repro.sim.mc``) via :meth:`TimedArena.run_batch`;
+    ``engine="scalar"`` replays the same draws through the original
+    per-trial ``run_transaction`` loop (bit-identical rows).
+    """
     arena = TimedArena()
-    conflicts = [(y * (1.0 - (i + 0.5) / gamma) + 1.0, 2) for i in range(gamma)]
+    conflicts = tuple(
+        (y * (1.0 - (i + 0.5) / gamma) + 1.0, 2) for i in range(gamma)
+    )
     rows = []
     variants = [
         ("x2.0 (paper)", dict(factor=2.0, increment=0.0)),
@@ -347,13 +357,15 @@ def run_abl_backoff(
         ("+4B0 additive", dict(factor=1.0, increment=4 * B0)),
     ]
     for label, kwargs in variants:
-        rng = stream_for(seed, "abl_backoff", label)
-        attempts = []
-        for _ in range(trials):
-            policy = BackoffPolicy(lambda b: UniformRW(b, 2), B0=B0, **kwargs)
-            record = arena.run_transaction(y, conflicts, policy, rng)
-            attempts.append(record.attempts)
-        arr = np.asarray(attempts, dtype=float)
+        program = TrialProgram(rho=y, conflicts=conflicts, k=2, B0=B0, **kwargs)
+        results = arena.run_batch(
+            program,
+            trials,
+            seed=seedseq_for(seed, "abl_backoff", label),
+            engine=engine,
+            pool=pool,
+        )
+        arr = results.attempts.astype(float)
         rows.append(
             {
                 "growth": label,

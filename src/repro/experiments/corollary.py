@@ -23,13 +23,18 @@ from repro.adversary import (
     TimedArena,
 )
 from repro.adversary.adversaries import make_transactions
-from repro.core.backoff import BackoffPolicy, progress_attempt_bound
+from repro.core.backoff import progress_attempt_bound
 from repro.core.model import ConflictKind
 from repro.core.requestor_wins import UniformRW
 from repro.distributions import ExponentialLengths, UniformLengths
-from repro.rngutil import stream_for
+from repro.errors import InvalidParameterError
+from repro.rngutil import seedseq_for, stream_for
+from repro.sim.mc import TrialProgram
 
 __all__ = ["run_cor1", "run_cor2"]
+
+#: The (y, gamma) grid of the Corollary 2 progress experiment.
+COR2_GRID = ((500.0, 1), (500.0, 3), (4000.0, 2), (4000.0, 6))
 
 
 def run_cor1(
@@ -39,15 +44,28 @@ def run_cor1(
     B: float = 300.0,
     mu: float = 500.0,
     seed: int | None = None,
+    engine: str = "batch",
 ) -> list[dict[str, object]]:
-    """Measured global ratio vs the Corollary 1 bound, per adversary."""
+    """Measured global ratio vs the Corollary 1 bound, per adversary.
+
+    ``engine="batch"`` scores every (lengths, adversary) schedule in
+    one struct-of-arrays pass per chain size
+    (:meth:`ConflictLedgerArena.run_batch`); ``engine="scalar"`` keeps
+    the original one-schedule-at-a-time loop as the golden reference.
+    Both produce bit-identical rows.
+    """
+    if engine not in ("batch", "scalar"):
+        raise InvalidParameterError(f"unknown engine {engine!r}")
     adversaries = [
         RandomAdversary(0.3),
         RandomAdversary(0.9, max_hits=3, chain_weights={2: 0.6, 3: 0.3, 5: 0.1}),
         PeriodicAdversary(fractions=(0.25, 0.75)),
         TargetedAdversary(threshold=B, k=2),
     ]
-    rows: list[dict[str, object]] = []
+    arena = ConflictLedgerArena(
+        ConflictKind.REQUESTOR_WINS, B, lambda k: UniformRW(B, k)
+    )
+    cells = []
     for dist_name, dist in (
         ("exponential", ExponentialLengths(mu)),
         ("uniform", UniformLengths(mu)),
@@ -55,23 +73,27 @@ def run_cor1(
         for adv in adversaries:
             rng = stream_for(seed, "cor1", dist_name, adv.name)
             txns = make_transactions(n_threads, per_thread, dist, rng)
-            schedule = adv.build(txns, rng)
-            arena = ConflictLedgerArena(
-                ConflictKind.REQUESTOR_WINS, B, lambda k: UniformRW(B, k)
-            )
-            outcome = arena.run(schedule, rng)
-            rows.append(
-                {
-                    "lengths": dist_name,
-                    "adversary": adv.name,
-                    "conflicts": outcome.n_conflicts,
-                    "waste_w": outcome.waste,
-                    "measured_ratio": outcome.ratio,
-                    "bound": outcome.corollary1_bound,
-                    "within": outcome.within_bound(slack=0.02),
-                }
-            )
-    return rows
+            cells.append((dist_name, adv, adv.build(txns, rng), rng))
+    if engine == "batch":
+        outcomes = arena.run_batch(
+            [cell[2] for cell in cells], [cell[3] for cell in cells]
+        )
+    else:
+        outcomes = [
+            arena.run(schedule, rng) for _, _, schedule, rng in cells
+        ]
+    return [
+        {
+            "lengths": dist_name,
+            "adversary": adv.name,
+            "conflicts": outcome.n_conflicts,
+            "waste_w": outcome.waste,
+            "measured_ratio": outcome.ratio,
+            "bound": outcome.corollary1_bound,
+            "within": outcome.within_bound(slack=0.02),
+        }
+        for (dist_name, adv, _, _), outcome in zip(cells, outcomes)
+    ]
 
 
 def run_cor2(
@@ -80,33 +102,43 @@ def run_cor2(
     k: int = 2,
     trials: int = 400,
     seed: int | None = None,
+    engine: str = "batch",
+    pool=None,
 ) -> list[dict[str, object]]:
-    """Attempts-to-commit with doubling backoff vs the Corollary 2 bound."""
+    """Attempts-to-commit with doubling backoff vs the Corollary 2 bound.
+
+    Each (y, gamma) row executes ``trials`` independent transactions
+    through the batched SoA engine (``repro.sim.mc``); the row's draw
+    streams derive from ``seedseq_for(seed, "cor2", y, gamma)``, so
+    rows are identical at any ``--jobs`` and between ``engine="batch"``
+    and the scalar golden reference.
+    """
     arena = TimedArena()
     rows: list[dict[str, object]] = []
-    for y, gamma in ((500.0, 1), (500.0, 3), (4000.0, 2), (4000.0, 6)):
-        rng = stream_for(seed, "cor2", int(y), gamma)
+    for y, gamma in COR2_GRID:
         # gamma conflicts per execution, evenly spread
-        conflicts = [
+        conflicts = tuple(
             (y * (1.0 - (i + 0.5) / gamma) + 1.0, k) for i in range(gamma)
-        ]
-        attempts = []
-        for _ in range(trials):
-            policy = BackoffPolicy(
-                lambda b, kk=k: UniformRW(b, kk), B0=B0, factor=2.0
-            )
-            record = arena.run_transaction(y, conflicts, policy, rng)
-            attempts.append(record.attempts)
+        )
+        program = TrialProgram(
+            rho=y, conflicts=conflicts, k=k, B0=B0, factor=2.0
+        )
+        results = arena.run_batch(
+            program,
+            trials,
+            seed=seedseq_for(seed, "cor2", int(y), gamma),
+            engine=engine,
+            pool=pool,
+        )
         bound = progress_attempt_bound(y, gamma, k, B0)
-        attempts_arr = np.asarray(attempts)
         rows.append(
             {
                 "y": y,
                 "gamma": gamma,
                 "bound_attempts": bound,
-                "median_attempts": float(np.median(attempts_arr)),
-                "p_within_bound": float(np.mean(attempts_arr <= bound)),
-                "holds_half": bool(np.mean(attempts_arr <= bound) >= 0.5),
+                "median_attempts": float(np.median(results.attempts)),
+                "p_within_bound": float(np.mean(results.attempts <= bound)),
+                "holds_half": bool(np.mean(results.attempts <= bound) >= 0.5),
             }
         )
     return rows

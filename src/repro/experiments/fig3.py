@@ -73,39 +73,53 @@ def _policy_factory(name: str, workload: Workload, params: MachineParams):
     raise ValueError(f"unknown Figure 3 policy {name!r}")
 
 
-def _cell_worker(
+def _rep_worker(
     workload_factory: Callable[[], Workload],
     n: int,
     policy_name: str,
     horizon: float,
     base_seed: int,
     verify: bool,
-    repeats: int,
-) -> dict[str, object]:
-    """One (threads, policy) sweep cell — the unit of parallel fan-out.
+    rep: int,
+) -> tuple[float, int, int, int, int]:
+    """One (threads, policy, repeat) machine run — the unit of parallel
+    fan-out.
 
     Module-level so process pools can pickle it; the machine seed comes
-    in via ``base_seed`` (simlint DET004) and depends only on the cell
-    coordinates, so the row is identical wherever the cell executes.
+    in via ``base_seed`` (simlint DET004) and depends only on the task
+    coordinates ``(n, rep)``, so the result is identical wherever the
+    repeat executes.  Returns the raw per-rep statistics
+    ``(throughput, ops, aborts, commits, fallbacks)``; rows are folded
+    per cell by :func:`_merge_cell` in rep order.
     """
     params = MachineParams(n_cores=max(n, 1))
-    tputs: list[float] = []
-    ops_total = 0
-    aborts = 0
-    commits = 0
-    fallbacks = 0
-    for rep in range(repeats):
-        workload = workload_factory()
-        machine = Machine(params, _policy_factory(policy_name, workload, params))
-        machine.load(workload, seed=base_seed + 1009 * n + 7919 * rep)
-        stats = machine.run(horizon)
-        if verify:
-            workload.verify(machine)
-        tputs.append(stats.throughput_ops_per_sec(params.clock_ghz))
-        ops_total += stats.ops_completed
-        aborts += stats.tx_aborted
-        commits += stats.tx_committed
-        fallbacks += stats.total("fallback_ops")
+    workload = workload_factory()
+    machine = Machine(params, _policy_factory(policy_name, workload, params))
+    machine.load(workload, seed=base_seed + 1009 * n + 7919 * rep)
+    stats = machine.run(horizon)
+    if verify:
+        workload.verify(machine)
+    return (
+        stats.throughput_ops_per_sec(params.clock_ghz),
+        stats.ops_completed,
+        stats.tx_aborted,
+        stats.tx_committed,
+        stats.total("fallback_ops"),
+    )
+
+
+def _merge_cell(
+    n: int,
+    policy_name: str,
+    reps: list[tuple[float, int, int, int, int]],
+) -> dict[str, object]:
+    """Fold one cell's per-rep statistics (in rep order) into its row."""
+    repeats = len(reps)
+    tputs = [r[0] for r in reps]
+    ops_total = sum(r[1] for r in reps)
+    aborts = sum(r[2] for r in reps)
+    commits = sum(r[3] for r in reps)
+    fallbacks = sum(r[4] for r in reps)
     arr = _np.asarray(tputs)
     row: dict[str, object] = {
         "threads": n,
@@ -139,23 +153,30 @@ def run_fig3(
     panel).
 
     ``pool`` (an object with ``starmap``, e.g.
-    :class:`repro.parallel.ProcessPool`) fans the sweep cells out over
-    worker processes; every cell is seeded from its own coordinates, so
-    rows are identical with or without a pool.  Pooled runs need a
-    picklable ``workload_factory`` (the built-in panels use
-    ``functools.partial``).
+    :class:`repro.parallel.ProcessPool`) fans out one task per
+    *(cell, repeat)* — so ``repeats > 1`` parallelizes inside a cell
+    too; every repeat is seeded from its own ``(n, rep)`` coordinates
+    and cells fold their repeats in rep order, so rows are identical
+    with or without a pool.  Pooled runs need a picklable
+    ``workload_factory`` (the built-in panels use ``functools.partial``).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     base_seed = DEFAULT_SEED if seed is None else seed
-    cells = [
-        (workload_factory, n, policy_name, horizon, base_seed, verify, repeats)
-        for n in threads
-        for policy_name in policies
+    coords = [(n, policy_name) for n in threads for policy_name in policies]
+    tasks = [
+        (workload_factory, n, policy_name, horizon, base_seed, verify, rep)
+        for n, policy_name in coords
+        for rep in range(repeats)
     ]
     if pool is None:
-        return [_cell_worker(*cell) for cell in cells]
-    return pool.starmap(_cell_worker, cells)
+        results = [_rep_worker(*task) for task in tasks]
+    else:
+        results = pool.starmap(_rep_worker, tasks)
+    return [
+        _merge_cell(n, policy_name, results[i * repeats : (i + 1) * repeats])
+        for i, (n, policy_name) in enumerate(coords)
+    ]
 
 
 def run_fig3_stack(*, pool=None, **kwargs) -> list[dict[str, object]]:

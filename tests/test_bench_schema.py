@@ -100,6 +100,17 @@ class TestCoreSchema:
             schema.validate_core_payload(bad)
 
 
+def scaling_point(**overrides) -> dict:
+    point = {
+        "jobs": 2,
+        "parallel_s": 5.0,
+        "speedup": 2.0,
+        "rows_identical": True,
+    }
+    point.update(overrides)
+    return point
+
+
 class TestParallelSchema:
     def test_valid_payload_passes(self):
         assert schema.validate_parallel_payload(parallel_payload()) is not None
@@ -109,6 +120,37 @@ class TestParallelSchema:
         del bad["rows_identical"]
         with pytest.raises(schema.BenchSchemaError, match="rows_identical"):
             schema.validate_parallel_payload(bad)
+
+    def test_scaling_and_warning_are_optional(self):
+        payload = parallel_payload(
+            scaling=[scaling_point(jobs=1, speedup=1.0), scaling_point()],
+            warning="cpu_count == 1: speedup measures overhead",
+        )
+        assert schema.validate_parallel_payload(payload) is not None
+
+    def test_empty_scaling_fails(self):
+        with pytest.raises(schema.BenchSchemaError, match="scaling"):
+            schema.validate_parallel_payload(parallel_payload(scaling=[]))
+
+    def test_scaling_point_missing_field_fails(self):
+        bad = scaling_point()
+        del bad["speedup"]
+        with pytest.raises(schema.BenchSchemaError, match=r"scaling\[0\]"):
+            schema.validate_parallel_payload(parallel_payload(scaling=[bad]))
+
+    def test_scaling_point_unknown_field_fails(self):
+        bad = scaling_point(extra=1)
+        with pytest.raises(schema.BenchSchemaError, match="extra"):
+            schema.validate_parallel_payload(parallel_payload(scaling=[bad]))
+
+    def test_scaling_point_bad_jobs_fails(self):
+        bad = scaling_point(jobs=0)
+        with pytest.raises(schema.BenchSchemaError, match="jobs"):
+            schema.validate_parallel_payload(parallel_payload(scaling=[bad]))
+
+    def test_empty_warning_fails(self):
+        with pytest.raises(schema.BenchSchemaError, match="warning"):
+            schema.validate_parallel_payload(parallel_payload(warning=""))
 
     def test_kind_dispatch(self):
         schema.validate_payload(core_payload(), "core")
@@ -200,3 +242,15 @@ class TestCommittedBaseline:
             e["speedup"] for e in doc["benches"].values() if "speedup" in e
         ]
         assert speedups and max(speedups) >= 3.0
+
+    def test_committed_baseline_records_mc_engine_win(self):
+        """PR acceptance evidence: the batched Monte-Carlo engine
+        benches are in the committed baseline at >= 10x over the scalar
+        reference."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        doc = json.loads((root / "BENCH_core.json").read_text())
+        for name in ("mc_cor2_trials", "mc_ablation_grid"):
+            assert name in doc["benches"], name
+            assert doc["benches"][name]["speedup"] >= 10.0, name
