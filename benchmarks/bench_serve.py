@@ -1,0 +1,85 @@
+"""Decision-service replay throughput, wall clock on the record.
+
+Standalone harness (``python benchmarks/bench_serve.py``): replay the
+standard three-regime load-generator schedule through the asyncio
+decision service twice with the same seed, check the two canonical
+decision logs came out byte-identical (the determinism contract the
+serving layer guarantees), and write decisions/sec plus p50/p99
+decision latency to ``BENCH_serve.json`` at the repo root — serving
+throughput claims belong in version control next to the code that
+produced them.
+
+``python -m repro loadgen`` produces the same artifact from the CLI;
+this harness exists so the bench suite has a one-command, no-flags
+entry point with the repeat-and-diff check built in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.serve.replay import bench_payload, run_replay
+
+try:  # package import (tests) or sibling import (standalone script)
+    from benchmarks import schema as bench_schema
+except ImportError:  # pragma: no cover - script-mode fallback
+    import schema as bench_schema  # type: ignore[no-redef]
+
+#: Seed used by every benchmark so tables are identical run-to-run.
+BENCH_SEED = 2018
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_bench(
+    *, seed: int = BENCH_SEED, quick: bool = True, clients: int = 8
+) -> dict[str, object]:
+    """Replay twice with the same seed; return the first run's payload
+    after checking the second produced a byte-identical decision log."""
+    report = run_replay(seed, clients=clients, quick=quick)
+    rerun = run_replay(seed, clients=max(1, clients // 2), quick=quick)
+    if report.decision_log != rerun.decision_log:
+        raise RuntimeError(
+            "decision logs differ between same-seed replays "
+            f"({report.decision_log_sha256()} vs "
+            f"{rerun.decision_log_sha256()})"
+        )
+    return bench_payload(report, quick=quick, seed=seed)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seed", type=int, default=BENCH_SEED, help="root RNG seed"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="1M-conflict schedule instead of the quick 10k one",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent submitter coroutines (default 8)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=_REPO_ROOT / "BENCH_serve.json",
+        help="where to write the measurement (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_bench(
+        seed=args.seed, quick=not args.full, clients=args.clients
+    )
+    bench_schema.dump_payload(payload, "serve", args.out)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

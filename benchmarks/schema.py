@@ -1,10 +1,11 @@
 """Shared schema for committed bench artifacts.
 
-Both standalone bench harnesses (``bench_parallel.py`` →
-``BENCH_parallel.json``, ``bench_suite.py`` → ``BENCH_core.json``)
-validate their payload against this module **at write time**, so a
-malformed artifact fails the producing run loudly instead of silently
-skewing the perf trajectory or the CI regression gate.
+Every bench harness (``bench_parallel.py`` → ``BENCH_parallel.json``,
+``bench_suite.py`` → ``BENCH_core.json``, ``bench_serve.py`` /
+``python -m repro loadgen`` → ``BENCH_serve.json``) validates its
+payload against this module **at write time**, so a malformed artifact
+fails the producing run loudly instead of silently skewing the perf
+trajectory or the CI regression gate.
 
 No external dependency: a field spec is ``(types, required,
 predicate)`` and validation is a plain recursive walk.  The same specs
@@ -22,6 +23,7 @@ __all__ = [
     "validate_bench_entry",
     "validate_core_payload",
     "validate_parallel_payload",
+    "validate_serve_payload",
     "validate_payload",
     "dump_payload",
 ]
@@ -126,6 +128,50 @@ _SCALING_SPEC = {
 }
 
 
+def _is_latency_us(value) -> bool:
+    return _is_finite_number(value) and value >= 0
+
+
+def _is_sha256(value) -> bool:
+    return len(value) == 64 and all(c in "0123456789abcdef" for c in value)
+
+
+#: ``BENCH_serve.json`` — the decision-service replay artifact
+#: (``python -m repro loadgen`` / ``benchmarks/bench_serve.py``).
+#: ``decision_log_sha256`` fingerprints the canonical decision log so
+#: the committed artifact itself witnesses the determinism contract:
+#: re-running with the payload's seed must reproduce the digest.
+#: ``seed`` is -1 when the run used the default seed.
+_SERVE_SPEC = {
+    "schema_version": (int, True, lambda v: v == 1),
+    "suite": (str, True, lambda v: v == "serve"),
+    "generated_by": (str, True, None),
+    "quick": (bool, True, None),
+    "seed": (int, True, None),
+    "python": (str, True, None),
+    "cpu_count": (int, True, lambda v: v >= 1),
+    "requests": (int, True, lambda v: v >= 1),
+    "conflicts": (int, True, lambda v: v >= 1),
+    "commits": (int, True, lambda v: v >= 0),
+    "grants": (int, True, lambda v: v >= 0),
+    "aborts": (int, True, lambda v: v >= 0),
+    "regime_switches": (int, True, lambda v: v >= 0),
+    "clients": (int, True, lambda v: v >= 1),
+    "phases": (int, True, lambda v: v >= 1),
+    "wall_s": ((int, float), True, lambda v: _is_finite_number(v) and v >= 0),
+    "decisions_per_sec": (
+        (int, float),
+        True,
+        lambda v: _is_finite_number(v) and v >= 0,
+    ),
+    "p50_us": ((int, float), True, _is_latency_us),
+    "p99_us": ((int, float), True, _is_latency_us),
+    "service_p50_us": ((int, float), False, _is_latency_us),
+    "service_p99_us": ((int, float), False, _is_latency_us),
+    "decision_log_sha256": (str, True, _is_sha256),
+}
+
+
 def validate_bench_entry(name: str, entry: dict) -> None:
     if not name or not isinstance(name, str):
         _fail("benches", f"bench name must be a non-empty string, got {name!r}")
@@ -155,12 +201,41 @@ def validate_parallel_payload(payload: dict) -> dict:
     return payload
 
 
+def validate_serve_payload(payload: dict) -> dict:
+    """Validate a ``BENCH_serve.json`` payload; returns it unchanged."""
+    _check_fields(payload, _SERVE_SPEC, "payload")
+    if payload["conflicts"] + payload["commits"] != payload["requests"]:
+        _fail(
+            "payload",
+            f"conflicts + commits must equal requests "
+            f"({payload['conflicts']} + {payload['commits']} != "
+            f"{payload['requests']})",
+        )
+    if payload["grants"] + payload["aborts"] != payload["conflicts"]:
+        _fail(
+            "payload",
+            f"grants + aborts must equal conflicts "
+            f"({payload['grants']} + {payload['aborts']} != "
+            f"{payload['conflicts']})",
+        )
+    if payload["p99_us"] < payload["p50_us"]:
+        _fail(
+            "payload",
+            f"p99_us {payload['p99_us']!r} below p50_us "
+            f"{payload['p50_us']!r}",
+        )
+    return payload
+
+
 def validate_payload(payload: dict, kind: str) -> dict:
-    """Validate by artifact kind: ``"core"`` or ``"parallel"``."""
+    """Validate by artifact kind: ``"core"``, ``"parallel"`` or
+    ``"serve"``."""
     if kind == "core":
         return validate_core_payload(payload)
     if kind == "parallel":
         return validate_parallel_payload(payload)
+    if kind == "serve":
+        return validate_serve_payload(payload)
     raise BenchSchemaError(f"unknown bench artifact kind {kind!r}")
 
 

@@ -14,11 +14,15 @@ Examples::
     python -m repro analyze                      # lint --deep alias
     python -m repro cache verify
     python -m repro all --quick --jobs 4 --chaos 1234 --resume
+    python -m repro loadgen --quick --seed 3     # decision-service replay
+    python -m repro serve --requests 2000        # serving smoke
 
 ``lint`` dispatches to :mod:`repro.analysis.cli` — the simlint
 determinism & contract linter (docs/STATIC_ANALYSIS.md); ``cache``
 dispatches to :mod:`repro.parallel.cache_cli` — checksum verification
-and pruning of the result cache.
+and pruning of the result cache; ``serve``/``loadgen`` dispatch to
+:mod:`repro.serve.cli` — the conflict-policy decision service and its
+million-client replay harness (docs/SERVING.md).
 
 Parallelism & caching (docs/PERFORMANCE.md):
 
@@ -494,6 +498,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.parallel.cache_cli import cache_main
 
         return cache_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        # the decision-service replay/load harness; see repro.serve
+        # and docs/SERVING.md
+        from repro.serve.cli import loadgen_main
+
+        return loadgen_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # one-shot smoke serving of the conflict-policy decision
+        # service; see repro.serve and docs/SERVING.md
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for exp_id, title in sorted(EXPERIMENTS.items()):

@@ -17,8 +17,9 @@ DELAY_DET     :class:`DetDelay` — Theorem 4's ``B/(k-1)``
 DELAY_RAND    :class:`RandDelay` — Theorem 5's uniform draw
 ========  =====================================================
 
-plus :class:`RRWMeanDelay` (the mean-constrained optimal policy) as an
-extension series.
+plus :class:`RRWMeanDelay` (the mean-constrained optimal policy) and
+:class:`RegimeAdaptiveDelay` (online-estimated regime dispatch, the decision
+service's default) as extension series.
 """
 
 from __future__ import annotations
@@ -29,6 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.estimators import EstimateSnapshot, OnlineEstimator
+from repro.core.ratios import rw_mean_regime_threshold
 from repro.core.requestor_wins import optimal_requestor_wins
 from repro.errors import InvalidParameterError
 from repro.htm.params import MachineParams
@@ -45,6 +48,7 @@ __all__ = [
     "RequestorAbortsDelay",
     "HybridDelay",
     "GreedyCM",
+    "RegimeAdaptiveDelay",
     "policy_from_name",
 ]
 
@@ -277,6 +281,128 @@ class HybridDelay(CyclePolicy):
         return int(policy.sample(rng))
 
 
+class RegimeAdaptiveDelay(CyclePolicy):
+    """Online-estimated adaptive policy: live regime dispatch.
+
+    Where :class:`RRWMeanDelay` trusts an operator-profiled ``µ``, this
+    policy estimates everything from the stream it serves.  Every
+    conflict feeds the receiver's ``(B, k)`` into an
+    :class:`~repro.core.estimators.OnlineEstimator`; committed
+    transactions report their durations through
+    :meth:`observe_commit`.  Every ``refresh_every`` decisions the
+    policy re-reads the windowed estimates and re-dispatches between
+    the paper's regimes:
+
+    ``bootstrap``
+        fewer than ``min_samples`` conflicts in the window — too thin
+        to trust a mean, so play Theorem 4's deterministic ``B/(k-1)``
+        (the safest unconditional 2+1/(k-1) guarantee).
+    ``mean``
+        a µ estimate exists and ``µ̂/B̂`` is inside the Theorem 5/6
+        mean regime (:func:`~repro.core.ratios.rw_mean_regime_threshold`
+        at the estimated k̂) — draw from the mean-constrained optimal
+        density.
+    ``rand``
+        otherwise — the unconstrained randomized optimum (uniform at
+        k = 2, Theorem 6's polynomial density at k >= 3).
+
+    Because the window decays old samples, a workload shift (longer
+    transactions, deeper chains) walks the estimates to the new regime
+    within one window; each re-dispatch increments the
+    ``regime_switches`` counter and is what the serve layer traces as
+    ``regime_switch`` events.
+    """
+
+    name = "DELAY_REGIME"
+
+    #: dispatchable regimes, in cold-start order
+    REGIMES = ("bootstrap", "rand", "mean")
+
+    def __init__(
+        self,
+        estimator: OnlineEstimator | None = None,
+        *,
+        window: int = 1024,
+        min_samples: int = 32,
+        refresh_every: int = 64,
+    ) -> None:
+        if min_samples < 1:
+            raise InvalidParameterError(
+                f"min_samples must be >= 1, got {min_samples}"
+            )
+        if refresh_every < 1:
+            raise InvalidParameterError(
+                f"refresh_every must be >= 1, got {refresh_every}"
+            )
+        self.estimator = (
+            estimator if estimator is not None else OnlineEstimator(window)
+        )
+        self.min_samples = min_samples
+        self.refresh_every = refresh_every
+        self.regime = "bootstrap"
+        self.regime_switches = 0
+        self._decisions = 0
+        self._snapshot = self.estimator.snapshot()
+        self._cache: dict[tuple[int, int, int], object] = {}
+
+    # -- estimator feeds ---------------------------------------------------
+    def observe_commit(self, duration: float) -> None:
+        """Report one committed transaction's duration (the µ feed)."""
+        self.estimator.observe_commit(duration)
+
+    def classify(self, snap: EstimateSnapshot) -> str:
+        """Which regime the estimates currently select."""
+        if snap.n_conflicts < self.min_samples:
+            return "bootstrap"
+        if snap.n_commits == 0 or math.isnan(snap.mu_hat):
+            return "rand"
+        k = snap.k_round()
+        b = snap.b_hat
+        if b <= 0:
+            return "rand"
+        if snap.mu_hat / b < rw_mean_regime_threshold(k):
+            return "mean"
+        return "rand"
+
+    def _refresh(self) -> None:
+        self._snapshot = self.estimator.snapshot()
+        new = self.classify(self._snapshot)
+        if new != self.regime:
+            get_registry().counter("regime_switches").inc()
+            self.regime_switches += 1
+            self.regime = new
+
+    @staticmethod
+    def _bucket(B: int) -> int:
+        if B < 1:
+            return 1
+        return int(round(1.25 ** round(math.log(B, 1.25))))
+
+    def decide(self, ctx: ConflictContext, rng: np.random.Generator) -> int:
+        self.estimator.observe_conflict(ctx.abort_cost, ctx.chain_k)
+        self._decisions += 1
+        if self._decisions % self.refresh_every == 1 or self.refresh_every == 1:
+            self._refresh()
+        if self.regime == "bootstrap":
+            return int(ctx.abort_cost // (ctx.chain_k - 1))
+        B = self._bucket(max(ctx.abort_cost, 1))
+        mu = self._snapshot.mu_hat if self.regime == "mean" else None
+        # quantize µ̂ so the per-(B, k, µ-bucket) policy cache stays
+        # small while the density still tracks the drifting estimate
+        mu_key = -1 if mu is None else self._bucket(max(int(round(mu)), 1))
+        key = (B, ctx.chain_k, mu_key)
+        policy = self._cache.get(key)
+        if policy is None:
+            get_registry().counter("policy_builds").inc()
+            policy = optimal_requestor_wins(
+                float(B),
+                ctx.chain_k,
+                None if mu_key < 0 else float(mu_key),
+            )
+            self._cache[key] = policy
+        return int(policy.sample(rng))
+
+
 class GreedyCM(CyclePolicy):
     """Baseline: the Greedy contention manager (global knowledge).
 
@@ -337,7 +463,10 @@ def policy_from_name(
         return HybridDelay(mu_cycles)
     if key == "GREEDY_CM":
         return GreedyCM()
+    if key == "DELAY_REGIME":
+        return RegimeAdaptiveDelay()
     raise InvalidParameterError(
         f"unknown conflict policy {name!r}; known: NO_DELAY, DELAY_TUNED, "
-        f"DELAY_DET, DELAY_RAND, DELAY_RRW_MU, DELAY_RA, DELAY_HYBRID, GREEDY_CM"
+        f"DELAY_DET, DELAY_RAND, DELAY_RRW_MU, DELAY_RA, DELAY_HYBRID, "
+        f"GREEDY_CM, DELAY_REGIME"
     )

@@ -23,6 +23,7 @@ lands both locally (machine stats) and in the capture.
 from __future__ import annotations
 
 import bisect
+import math
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
@@ -129,6 +130,38 @@ class Histogram:
             self.counts[bisect.bisect_right(self.edges, x) - 1] += 1
         if self._parent is not None:
             self._parent.observe(x)
+
+    def quantile(self, q: float) -> float:
+        """Edge-resolution nearest-rank quantile.
+
+        Returns the smallest bucket boundary ``b`` such that at least
+        ``ceil(q * n)`` observations were strictly below ``b`` — i.e.
+        the upper edge of the bucket holding the nearest-rank sample,
+        a conservative (never under-reporting) latency read.  Ranks
+        that land in the underflow region clamp to ``edges[0]`` and
+        ranks in the overflow region clamp to ``edges[-1]``; an empty
+        histogram returns NaN.
+
+        The exact contract the latency-accounting tests pin: for any
+        observation stream, the sorted-array nearest-rank value lies
+        inside the bucket whose upper edge this returns (or beyond the
+        clamped edge for under/overflow).
+        """
+        if not 0.0 < q <= 1.0:
+            raise InvalidParameterError(
+                f"quantile q must be in (0, 1], got {q!r}"
+            )
+        if self.n == 0:
+            return float("nan")
+        rank = max(1, math.ceil(self.n * q))
+        cumulative = self.underflow
+        if cumulative >= rank:
+            return self.edges[0]
+        for i, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return self.edges[i + 1]
+        return self.edges[-1]
 
     def snapshot(self) -> dict:
         return {

@@ -31,6 +31,12 @@ Canonical event kinds (full schema in docs/OBSERVABILITY.md):
                     (path, kept, dropped_records, dropped_bytes)
 ``degraded_to_serial``  worker pool exhausted; remaining tasks run
                     serially in the parent (remaining, restarts_used)
+``decision_served``  decision service answered one conflict request
+                    (seq, action, grace, regime, policy)
+``regime_switch``   adaptive policy re-dispatched to a new theorem
+                    regime (seq, old, new, k, mu_over_b)
+``loadgen_phase``   load generator crossed a workload-phase boundary
+                    (phase, first_seq, mu, rate)
 ==================  ======================================================
 
 Serialization is canonical — ``json.dumps(..., sort_keys=True)`` with
@@ -83,6 +89,9 @@ EVENT_KINDS = frozenset(
         "worker_restarted",
         "journal_recovered",
         "degraded_to_serial",
+        "decision_served",
+        "regime_switch",
+        "loadgen_phase",
     }
 )
 

@@ -1,0 +1,244 @@
+"""``python -m repro serve`` / ``python -m repro loadgen`` verbs.
+
+``loadgen`` is the full replay harness: generate a seeded request
+stream (Zipf skew, bursts, regime shifts), drive it through the
+decision service with N concurrent submitters, write the canonical
+decision log and the schema-validated ``BENCH_serve.json`` artifact,
+and print the latency/throughput summary.  ``serve`` is the one-shot
+smoke variant: a small stream, a per-regime decision summary, no
+artifact by default.
+
+Examples::
+
+    python -m repro loadgen --quick --seed 3
+    python -m repro loadgen --quick --seed 3 --clients 32 \\
+        --decision-log serve.log --out BENCH_serve.json
+    python -m repro loadgen --requests 1000000 --seed 3   # full replay
+    python -m repro serve --requests 2000 --seed 7 --policy DELAY_RAND
+
+Determinism contract (docs/SERVING.md): for a fixed seed the decision
+log is byte-identical at any ``--clients`` / ``--window`` — CI diffs
+exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+__all__ = ["loadgen_main", "serve_main"]
+
+
+def _bench_schema():
+    """Import ``benchmarks.schema`` (repo-root package) from anywhere.
+
+    ``python -m repro`` only guarantees ``src`` on ``sys.path``; the
+    bench schema lives beside the artifacts at the repo root, so fall
+    back to adding it explicitly.
+    """
+    try:
+        from benchmarks import schema
+        return schema
+    except ImportError:
+        root = pathlib.Path(__file__).resolve().parents[3]
+        if (root / "benchmarks" / "schema.py").exists():
+            sys.path.insert(0, str(root))
+            from benchmarks import schema
+            return schema
+        return None
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="10k-conflict schedule instead of the 1M full replay",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the schedule's total conflict count",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent submitter coroutines (the decision log is "
+        "invariant to this; default 8)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-submitter outstanding-request bound (default 64)",
+    )
+    parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="NAME",
+        help="serve a fixed policy instead of DELAY_REGIME "
+        "(NO_DELAY, DELAY_DET, DELAY_RAND, ...)",
+    )
+    parser.add_argument(
+        "--decision-log",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write the canonical decision log (one JSON line per "
+        "conflict decision)",
+    )
+
+
+def _build_replay(args):
+    from repro.htm.conflict_policy import policy_from_name
+    from repro.htm.params import MachineParams
+    from repro.serve.loadgen import default_config
+    from repro.serve.replay import run_replay
+
+    config = default_config(quick=args.quick)
+    if args.requests is not None:
+        config = config.scaled(args.requests)
+    params = MachineParams()
+    policy = None
+    if args.policy is not None:
+        policy = policy_from_name(
+            args.policy, params, tuned_cycles=100, mu_cycles=100.0
+        )
+    return run_replay(
+        args.seed,
+        config,
+        clients=args.clients,
+        window=args.window,
+        quick=args.quick,
+        policy=policy,
+        params=params,
+    )
+
+
+def _write_decision_log(args, report) -> None:
+    if args.decision_log is not None:
+        args.decision_log.write_text(
+            "\n".join(report.decision_log) + "\n"
+            if report.decision_log
+            else ""
+        )
+        print(
+            f"[{len(report.decision_log)} decisions -> {args.decision_log}]"
+        )
+
+
+def _summary(report) -> str:
+    return (
+        f"[serve: {report.requests} requests ({report.conflicts} conflicts, "
+        f"{report.commits} commits) in {report.wall_s:.2f}s — "
+        f"{report.decisions_per_sec:,.0f} decisions/s, "
+        f"decide p50 {report.p50_us:g}µs p99 {report.p99_us:g}µs, "
+        f"service p99 {report.service_p99_us:g}µs, "
+        f"{report.grants} grants / {report.aborts} aborts, "
+        f"{report.regime_switches} regime switches]"
+    )
+
+
+def loadgen_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description=(
+            "Replay a seeded million-client request stream through the "
+            "conflict-policy decision service (docs/SERVING.md)"
+        ),
+    )
+    _common_args(parser)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_serve.json"),
+        metavar="PATH",
+        help="BENCH_serve.json destination (default ./BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--request-trace",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also write the generated request stream as canonical JSONL",
+    )
+    args = parser.parse_args(argv)
+    from repro.errors import ReproError
+    from repro.serve.replay import bench_payload
+
+    try:
+        report = _build_replay(args)
+    except ReproError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    print(_summary(report))
+    _write_decision_log(args, report)
+    if args.request_trace is not None:
+        from repro.serve.loadgen import (
+            default_config,
+            generate,
+            request_trace_line,
+        )
+
+        config = default_config(quick=args.quick)
+        if args.requests is not None:
+            config = config.scaled(args.requests)
+        with open(args.request_trace, "w") as fh:
+            count = 0
+            for event in generate(args.seed, config):
+                fh.write(request_trace_line(event) + "\n")
+                count += 1
+        print(f"[{count} requests -> {args.request_trace}]")
+    payload = bench_payload(report, quick=args.quick, seed=args.seed)
+    schema = _bench_schema()
+    if schema is not None:
+        schema.dump_payload(payload, "serve", args.out)
+    else:  # no repo checkout around the installed package
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(
+            "[benchmarks.schema not importable; wrote unvalidated payload]",
+            file=sys.stderr,
+        )
+    print(f"[bench payload -> {args.out}]")
+    return 0
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "One-shot smoke serving: run the decision service over a "
+            "small generated stream and summarize its decisions"
+        ),
+    )
+    _common_args(parser)
+    args = parser.parse_args(argv)
+    if args.requests is None:
+        args.requests = 2_000
+    from repro.errors import ReproError
+
+    try:
+        report = _build_replay(args)
+    except ReproError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    print(_summary(report))
+    regimes: dict[str, int] = {}
+    for line in report.decision_log:
+        regime = json.loads(line)["regime"]
+        regimes[regime] = regimes.get(regime, 0) + 1
+    for regime, n in sorted(regimes.items()):
+        print(f"  regime {regime:10s} {n} decisions")
+    _write_decision_log(args, report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(loadgen_main())

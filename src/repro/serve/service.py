@@ -1,0 +1,296 @@
+"""The asyncio decision service: grant grace Δ or abort, per conflict.
+
+Protocol (docs/SERVING.md): clients submit two event kinds over a
+shared, monotonically-increasing sequence space —
+
+* :class:`ConflictRequest` — "my transaction (age, chain k) was hit by
+  a conflicting probe; how long may I keep delaying it?"  Answered
+  with a :class:`Decision`: ``grant`` with a grace period in cycles,
+  or ``abort`` (grace 0).
+* :class:`CommitReport` — "my transaction committed after D cycles",
+  the live µ feed for the online estimators.  Acknowledged, never
+  logged.
+
+**Determinism.**  The service serves strictly in ``seq`` order: a
+reorder buffer holds early arrivals until their predecessors are
+decided, so any number of concurrent clients produces the *same*
+decision sequence — same estimator trajectory, same RNG consumption,
+same regime switches.  The decision log is therefore byte-identical at
+any concurrency level, which is the property the loadgen determinism
+gate diffs in CI.  Wall-clock only ever feeds the latency histograms
+(metrics), never a decision.
+
+Per-decision latency lands in two fixed-edge
+:class:`~repro.obs.metrics.Histogram`\\ s: ``decide`` (the policy
+computation alone) and ``service`` (submit-to-resolution, including
+reorder wait) — p50/p99 come from
+:meth:`~repro.obs.metrics.Histogram.quantile`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError, SimulationError
+from repro.htm.conflict_policy import (
+    RegimeAdaptiveDelay,
+    ConflictContext,
+    CyclePolicy,
+)
+from repro.htm.params import MachineParams
+from repro.obs.metrics import Histogram, get_registry
+from repro.obs.tracebus import get_bus
+from repro.rngutil import stream_for
+
+__all__ = [
+    "ConflictRequest",
+    "CommitReport",
+    "Decision",
+    "DecisionService",
+    "decision_line",
+    "LATENCY_EDGES_US",
+]
+
+#: Fixed decision-latency bucket edges (microseconds).  Fixed edges
+#: keep histograms mergeable and run-to-run comparable
+#: (docs/OBSERVABILITY.md); the top edge clamps the p99 read for
+#: pathological stalls.
+LATENCY_EDGES_US = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 50_000.0, 100_000.0,
+)
+
+
+@dataclass(frozen=True)
+class ConflictRequest:
+    """One "grant or abort?" question from a client.
+
+    ``seq`` is the global submission sequence number (assigned by the
+    client/load generator, served in order); ``tx_age`` and
+    ``chain_k`` are the receiver transaction's age in cycles and
+    waits-for chain size at conflict time — exactly the
+    :class:`~repro.htm.conflict_policy.ConflictContext` inputs.
+    """
+
+    seq: int
+    client_id: int
+    key: int
+    tx_age: int
+    chain_k: int
+    phase: int = 0
+    arrival_us: float = 0.0
+    requestor_age: int | None = None
+
+
+@dataclass(frozen=True)
+class CommitReport:
+    """A committed transaction's duration (the µ estimator feed)."""
+
+    seq: int
+    client_id: int
+    key: int
+    duration: float
+    phase: int = 0
+    arrival_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The service's answer to one event.
+
+    ``action`` is ``"grant"`` (wait ``grace`` cycles before aborting
+    the receiver) or ``"abort"`` (grace 0, abort immediately) for
+    conflicts, ``"ack"`` for commit reports.  ``regime`` is the
+    adaptive policy's dispatch at decision time (``"-"`` for static
+    policies).
+    """
+
+    seq: int
+    action: str
+    grace: int
+    regime: str
+    policy: str
+
+
+def decision_line(decision: Decision) -> str:
+    """Canonical one-line JSON for a decision (no trailing newline).
+
+    Same canonicalization contract as the trace bus: two decision logs
+    are equal iff their bytes are equal.
+    """
+    return json.dumps(
+        {
+            "seq": decision.seq,
+            "action": decision.action,
+            "grace": decision.grace,
+            "regime": decision.regime,
+            "policy": decision.policy,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+class DecisionService:
+    """Seq-ordered async server around one conflict policy.
+
+    Usage::
+
+        service = DecisionService(seed=3)
+        await service.start()
+        decision = await service.submit(ConflictRequest(...))
+        ...
+        await service.stop()
+
+    ``submit`` may be called from any number of client coroutines in
+    any interleaving; each client must submit its own events in
+    ascending ``seq`` order (the load generator's round-robin sharding
+    guarantees this), and every sequence number below the highest
+    submitted one must eventually be submitted by someone or the
+    serving loop would wait for the gap forever.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int | None = None,
+        params: MachineParams | None = None,
+        policy: CyclePolicy | None = None,
+        latency_edges: tuple = LATENCY_EDGES_US,
+    ) -> None:
+        self.params = params if params is not None else MachineParams()
+        self.policy = policy if policy is not None else RegimeAdaptiveDelay()
+        self._rng = stream_for(seed, "serve", "decisions")
+        self._pending: dict[int, tuple[object, asyncio.Future, float]] = {}
+        self._next_seq = 0
+        self._wakeup: asyncio.Event | None = None
+        self._loop_task: asyncio.Task | None = None
+        self._stopping = False
+        #: canonical decision-log lines, conflict decisions only
+        self.decision_log: list[str] = []
+        self.decide_latency = Histogram("decide_latency_us", latency_edges)
+        self.service_latency = Histogram("service_latency_us", latency_edges)
+        self.conflicts = 0
+        self.commits = 0
+        self.grants = 0
+        self.aborts = 0
+        self.regime_switches = 0
+        self._last_regime = getattr(self.policy, "regime", "-")
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        if self._loop_task is not None:
+            raise SimulationError("decision service already started")
+        self._stopping = False
+        self._wakeup = asyncio.Event()
+        self._loop_task = asyncio.create_task(self._serve_loop())
+
+    async def stop(self) -> None:
+        """Drain: serve everything already submitted, then shut down."""
+        if self._loop_task is None:
+            return
+        self._stopping = True
+        self._wakeup.set()
+        await self._loop_task
+        self._loop_task = None
+        if self._pending:  # gap before a drained tail: refuse silently
+            stuck = sorted(self._pending)
+            for seq in stuck:
+                _, fut, _ = self._pending.pop(seq)
+                if not fut.done():
+                    fut.set_exception(
+                        SimulationError(
+                            f"service stopped at seq {self._next_seq} with "
+                            f"a sequence gap; undecided: {stuck[:5]}..."
+                        )
+                    )
+
+    # -- the request path --------------------------------------------------
+    async def submit(self, event) -> Decision:
+        """Queue one event; resolves with its :class:`Decision`."""
+        if self._wakeup is None:
+            raise SimulationError("decision service is not started")
+        if event.seq < self._next_seq or event.seq in self._pending:
+            raise InvalidParameterError(
+                f"seq {event.seq} already served or pending"
+            )
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[event.seq] = (event, fut, time.perf_counter())
+        self._wakeup.set()
+        return await fut
+
+    async def _serve_loop(self) -> None:
+        while True:
+            entry = self._pending.pop(self._next_seq, None)
+            if entry is None:
+                if self._stopping:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            event, fut, submitted = entry
+            decision = self._decide(event)
+            self.service_latency.observe(
+                (time.perf_counter() - submitted) * 1e6
+            )
+            if not fut.done():  # client may have been cancelled
+                fut.set_result(decision)
+            self._next_seq += 1
+
+    # -- deciding ----------------------------------------------------------
+    def _decide(self, event) -> Decision:
+        t0 = time.perf_counter()
+        if isinstance(event, CommitReport):
+            observe = getattr(self.policy, "observe_commit", None)
+            if observe is not None:
+                observe(event.duration)
+            self.commits += 1
+            decision = Decision(event.seq, "ack", 0, self._last_regime,
+                                self.policy.name)
+        else:
+            ctx = ConflictContext(
+                tx_age=event.tx_age,
+                chain_k=event.chain_k,
+                params=self.params,
+                requestor_age=event.requestor_age,
+            )
+            grace = int(self.policy.decide(ctx, self._rng))
+            regime = getattr(self.policy, "regime", "-")
+            if grace > 0:
+                self.grants += 1
+                action = "grant"
+            else:
+                self.aborts += 1
+                action = "abort"
+            self.conflicts += 1
+            decision = Decision(event.seq, action, grace, regime,
+                                self.policy.name)
+            self.decision_log.append(decision_line(decision))
+            if regime != self._last_regime:
+                self.regime_switches += 1
+                bus = get_bus()
+                if bus.enabled:
+                    bus.emit(
+                        float(event.seq),
+                        "regime_switch",
+                        old=self._last_regime,
+                        new=regime,
+                        seq=event.seq,
+                    )
+                self._last_regime = regime
+            get_registry().counter(f"decisions_{action}").inc()
+        self.decide_latency.observe((time.perf_counter() - t0) * 1e6)
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit(
+                float(event.seq),
+                "decision_served",
+                seq=event.seq,
+                action=decision.action,
+                grace=decision.grace,
+                regime=decision.regime,
+            )
+        return decision

@@ -29,7 +29,9 @@ class TestEvent:
         assert "cache_miss" in EVENT_KINDS
         assert "worker_crashed" in EVENT_KINDS
         assert "journal_recovered" in EVENT_KINDS
-        assert len(EVENT_KINDS) == 15
+        assert "decision_served" in EVENT_KINDS
+        assert "regime_switch" in EVENT_KINDS
+        assert len(EVENT_KINDS) == 18
 
     def test_format_is_one_line(self):
         event = ObsEvent(12.5, "abort", 3, {"reason": "conflict_timeout"})

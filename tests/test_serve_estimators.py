@@ -1,0 +1,192 @@
+"""Property suite pinning online estimation to its offline reference.
+
+The decision service trusts :class:`repro.core.estimators.WindowedMean`
+to track a drifting stream in O(1) per update; these tests are the
+contract that the streaming value never leaves the batch recomputation
+(:func:`offline_window_mean` / :func:`offline_estimate`) by more than
+1e-9 relative — including the edge cases the service actually hits:
+empty window, a single sample, and a hard regime shift that replaces
+the window's whole contents.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators import (
+    EstimateSnapshot,
+    OnlineEstimator,
+    WindowedMean,
+    offline_estimate,
+    offline_window_mean,
+)
+from repro.errors import InvalidParameterError
+
+#: Relative tolerance the ISSUE pins: online == offline to 1e-9.
+RTOL = 1e-9
+
+finite_values = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_values, max_size=200)
+windows = st.integers(min_value=1, max_value=64)
+
+
+def assert_close(online: float, offline: float) -> None:
+    if math.isnan(offline):
+        assert math.isnan(online)
+        return
+    assert online == pytest.approx(offline, rel=RTOL, abs=1e-9)
+
+
+class TestWindowedMean:
+    @given(value_lists, windows)
+    @settings(max_examples=300)
+    def test_matches_offline_at_every_step(self, values, window):
+        wm = WindowedMean(window)
+        for i, x in enumerate(values):
+            wm.observe(x)
+            assert_close(wm.mean, offline_window_mean(values[: i + 1], window))
+            assert wm.n == min(i + 1, window)
+
+    @given(windows)
+    def test_empty_window_is_nan(self, window):
+        wm = WindowedMean(window)
+        assert math.isnan(wm.mean)
+        assert wm.n == 0
+        assert math.isnan(offline_window_mean([], window))
+
+    @given(finite_values, windows)
+    def test_single_sample_is_exact(self, x, window):
+        wm = WindowedMean(window)
+        wm.observe(x)
+        assert wm.mean == x
+        assert offline_window_mean([x], window) == x
+
+    @given(windows, st.integers(min_value=1, max_value=400))
+    @settings(max_examples=100)
+    def test_regime_shift_forgets_old_regime(self, window, shift_len):
+        """After >= window post-shift samples the old regime is gone."""
+        wm = WindowedMean(window)
+        for _ in range(3 * window):
+            wm.observe(1e9)
+        post = [float(i % 7) for i in range(max(window, shift_len))]
+        for x in post:
+            wm.observe(x)
+        assert_close(wm.mean, math.fsum(post[-window:]) / window)
+
+    def test_mixed_magnitudes_stay_compensated(self):
+        """The adversarial case plain summation loses: tiny samples
+        riding on a huge transient must survive the transient leaving
+        the window."""
+        wm = WindowedMean(4)
+        stream = [1e-9, 1e15, 1e-9, 1e-9, 1e-9, 1e-9, 1e-9]
+        for i, x in enumerate(stream):
+            wm.observe(x)
+            assert_close(wm.mean, offline_window_mean(stream[: i + 1], 4))
+        assert wm.mean == pytest.approx(1e-9, rel=RTOL)
+
+    def test_reset_empties_the_window(self):
+        wm = WindowedMean(8)
+        for x in (1.0, 2.0, 3.0):
+            wm.observe(x)
+        wm.reset()
+        assert wm.n == 0
+        assert math.isnan(wm.mean)
+        wm.observe(5.0)
+        assert wm.mean == 5.0
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "8"])
+    def test_bad_window_rejected(self, bad):
+        with pytest.raises(InvalidParameterError, match="window"):
+            WindowedMean(bad)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_observation_rejected(self, bad):
+        wm = WindowedMean(4)
+        with pytest.raises(InvalidParameterError, match="finite"):
+            wm.observe(bad)
+
+
+conflict_streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        st.integers(min_value=2, max_value=64),
+    ),
+    max_size=150,
+)
+duration_streams = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False), max_size=150
+)
+
+
+class TestOnlineEstimator:
+    @given(conflict_streams, duration_streams, windows)
+    @settings(max_examples=200)
+    def test_snapshot_matches_offline(self, conflicts, durations, window):
+        est = OnlineEstimator(window)
+        for b, k in conflicts:
+            est.observe_conflict(b, k)
+        for d in durations:
+            est.observe_commit(d)
+        snap = est.snapshot()
+        ref = offline_estimate(conflicts, durations, window)
+        assert_close(snap.b_hat, ref.b_hat)
+        assert_close(snap.k_hat, ref.k_hat)
+        assert_close(snap.mu_hat, ref.mu_hat)
+        assert snap.n_conflicts == ref.n_conflicts
+        assert snap.n_commits == ref.n_commits
+
+    def test_snapshot_is_side_effect_free(self):
+        est = OnlineEstimator(16)
+        est.observe_conflict(100.0, 3)
+        first = est.snapshot()
+        for _ in range(5):
+            assert est.snapshot() == first
+
+    def test_feeds_are_independent(self):
+        est = OnlineEstimator(8)
+        est.observe_commit(42.0)
+        snap = est.snapshot()
+        assert snap.n_conflicts == 0
+        assert math.isnan(snap.b_hat)
+        assert snap.n_commits == 1
+        assert snap.mu_hat == 42.0
+
+    def test_reset(self):
+        est = OnlineEstimator(8)
+        est.observe_conflict(10.0, 2)
+        est.observe_commit(1.0)
+        est.reset()
+        snap = est.snapshot()
+        assert snap.n_conflicts == 0 and snap.n_commits == 0
+
+    def test_window_property(self):
+        assert OnlineEstimator(7).window == 7
+
+    def test_invalid_feeds_rejected(self):
+        est = OnlineEstimator(8)
+        with pytest.raises(InvalidParameterError, match="abort cost"):
+            est.observe_conflict(-1.0, 2)
+        with pytest.raises(InvalidParameterError, match="chain size"):
+            est.observe_conflict(1.0, 1)
+        with pytest.raises(InvalidParameterError, match="duration"):
+            est.observe_commit(-0.5)
+
+
+class TestEstimateSnapshot:
+    def test_k_round_nan_defaults_to_two(self):
+        snap = EstimateSnapshot(math.nan, math.nan, math.nan, 0, 0)
+        assert snap.k_round() == 2
+
+    @pytest.mark.parametrize(
+        ("k_hat", "expected"),
+        [(1.2, 2), (2.0, 2), (2.49, 2), (2.51, 3), (7.6, 8)],
+    )
+    def test_k_round_clamps_into_model_domain(self, k_hat, expected):
+        snap = EstimateSnapshot(1.0, k_hat, 1.0, 10, 10)
+        assert snap.k_round() == expected

@@ -1,0 +1,271 @@
+"""Decision service semantics + the adaptive policy's regime dispatch.
+
+The service half pins the seq-ordered protocol: out-of-order arrivals
+wait in the reorder buffer, duplicates and stale seqs are rejected,
+drain-on-stop fails stuck futures instead of hanging, and commit
+reports are acked but never logged.  The policy half pins
+:class:`repro.htm.conflict_policy.RegimeAdaptiveDelay`'s classification
+(bootstrap / mean / rand as the estimates move) and its switch
+accounting, which the serve layer surfaces as ``regime_switch`` trace
+events and the bench artifact records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import EstimateSnapshot
+from repro.core.ratios import rw_mean_regime_threshold
+from repro.errors import InvalidParameterError, SimulationError
+from repro.htm.conflict_policy import (
+    RegimeAdaptiveDelay,
+    ConflictContext,
+    policy_from_name,
+)
+from repro.htm.params import MachineParams
+from repro.serve.service import (
+    CommitReport,
+    ConflictRequest,
+    Decision,
+    DecisionService,
+    decision_line,
+)
+
+
+def conflict(seq, *, age=500, k=2, client=1, key=7) -> ConflictRequest:
+    return ConflictRequest(
+        seq=seq, client_id=client, key=key, tx_age=age, chain_k=k
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestServiceProtocol:
+    def test_out_of_order_submission_serves_in_seq_order(self):
+        async def scenario():
+            service = DecisionService(seed=1)
+            await service.start()
+            # submit 2 and 1 first; they must wait for 0
+            later = [
+                asyncio.create_task(service.submit(conflict(2))),
+                asyncio.create_task(service.submit(conflict(1))),
+            ]
+            await asyncio.sleep(0)
+            assert all(not t.done() for t in later)
+            d0 = await service.submit(conflict(0))
+            decisions = [d0] + [await t for t in later]
+            await service.stop()
+            return service, decisions
+
+        service, decisions = run(scenario())
+        assert [d.seq for d in decisions] == [0, 2, 1]
+        assert [json.loads(line)["seq"] for line in service.decision_log] == [
+            0,
+            1,
+            2,
+        ]
+
+    def test_log_invariant_to_interleaving(self):
+        async def serially():
+            service = DecisionService(seed=9)
+            await service.start()
+            for i in range(40):
+                await service.submit(conflict(i, age=100 + i, k=2 + i % 3))
+            await service.stop()
+            return service.decision_log
+
+        async def shuffled():
+            service = DecisionService(seed=9)
+            await service.start()
+            order = [i for i in range(40) if i % 2] + [
+                i for i in range(40) if not i % 2
+            ]
+            tasks = {}
+            for i in order:
+                tasks[i] = asyncio.create_task(
+                    service.submit(conflict(i, age=100 + i, k=2 + i % 3))
+                )
+                await asyncio.sleep(0)
+            await asyncio.gather(*tasks.values())
+            await service.stop()
+            return service.decision_log
+
+        assert run(serially()) == run(shuffled())
+
+    def test_duplicate_and_stale_seq_rejected(self):
+        async def scenario():
+            service = DecisionService(seed=1)
+            await service.start()
+            await service.submit(conflict(0))
+            with pytest.raises(InvalidParameterError, match="seq 0"):
+                await service.submit(conflict(0))
+            pending = asyncio.create_task(service.submit(conflict(5)))
+            await asyncio.sleep(0)
+            with pytest.raises(InvalidParameterError, match="seq 5"):
+                await service.submit(conflict(5))
+            for i in (1, 2, 3, 4):
+                await service.submit(conflict(i))
+            await pending
+            await service.stop()
+
+        run(scenario())
+
+    def test_submit_before_start_fails(self):
+        async def scenario():
+            with pytest.raises(SimulationError, match="not started"):
+                await DecisionService().submit(conflict(0))
+
+        run(scenario())
+
+    def test_double_start_fails(self):
+        async def scenario():
+            service = DecisionService()
+            await service.start()
+            with pytest.raises(SimulationError, match="already started"):
+                await service.start()
+            await service.stop()
+
+        run(scenario())
+
+    def test_stop_with_gap_fails_stuck_futures(self):
+        async def scenario():
+            service = DecisionService(seed=1)
+            await service.start()
+            stuck = asyncio.create_task(service.submit(conflict(3)))
+            await asyncio.sleep(0)
+            await service.stop()
+            with pytest.raises(SimulationError, match="sequence gap"):
+                await stuck
+
+        run(scenario())
+
+    def test_commit_reports_acked_not_logged(self):
+        async def scenario():
+            service = DecisionService(seed=1)
+            await service.start()
+            await service.submit(conflict(0))
+            ack = await service.submit(
+                CommitReport(seq=1, client_id=1, key=7, duration=50.0)
+            )
+            await service.stop()
+            return service, ack
+
+        service, ack = run(scenario())
+        assert ack.action == "ack" and ack.grace == 0
+        assert service.commits == 1 and service.conflicts == 1
+        assert len(service.decision_log) == 1
+
+    def test_latency_histograms_populated(self):
+        async def scenario():
+            service = DecisionService(seed=1)
+            await service.start()
+            for i in range(10):
+                await service.submit(conflict(i))
+            await service.stop()
+            return service
+
+        service = run(scenario())
+        assert service.decide_latency.n == 10
+        assert service.service_latency.n == 10
+        assert not math.isnan(service.decide_latency.quantile(0.5))
+
+    def test_same_seed_same_decisions(self):
+        async def scenario():
+            service = DecisionService(seed=5)
+            await service.start()
+            for i in range(50):
+                await service.submit(conflict(i, age=50 + 7 * i))
+            await service.stop()
+            return service.decision_log
+
+        assert run(scenario()) == run(scenario())
+
+
+class TestDecisionLine:
+    def test_canonical_and_stable(self):
+        line = decision_line(Decision(4, "grant", 120, "mean", "X"))
+        assert line == (
+            '{"action":"grant","grace":120,"policy":"X",'
+            '"regime":"mean","seq":4}'
+        )
+
+
+def snap(b=1000.0, k=2.0, mu=100.0, n_conflicts=100, n_commits=100):
+    return EstimateSnapshot(b, k, mu, n_conflicts, n_commits)
+
+
+class TestRegimeAdaptiveDelay:
+    def test_registered_by_name(self):
+        policy = policy_from_name(
+            "DELAY_REGIME", MachineParams(), tuned_cycles=0, mu_cycles=0.0
+        )
+        assert isinstance(policy, RegimeAdaptiveDelay)
+
+    def test_classify_bootstrap_on_thin_evidence(self):
+        policy = RegimeAdaptiveDelay(min_samples=32)
+        assert policy.classify(snap(n_conflicts=31)) == "bootstrap"
+
+    def test_classify_rand_without_commits(self):
+        policy = RegimeAdaptiveDelay()
+        assert policy.classify(snap(n_commits=0, mu=math.nan)) == "rand"
+
+    def test_classify_mean_inside_threshold(self):
+        policy = RegimeAdaptiveDelay()
+        threshold = rw_mean_regime_threshold(2)
+        inside = snap(b=1000.0, mu=0.5 * threshold * 1000.0)
+        outside = snap(b=1000.0, mu=2.0 * threshold * 1000.0)
+        assert policy.classify(inside) == "mean"
+        assert policy.classify(outside) == "rand"
+
+    def test_bootstrap_plays_deterministic_rule(self):
+        policy = RegimeAdaptiveDelay(min_samples=1000)
+        params = MachineParams()
+        ctx = ConflictContext(tx_age=600, chain_k=3, params=params)
+        rng = np.random.default_rng(0)
+        assert policy.decide(ctx, rng) == ctx.abort_cost // 2
+        assert policy.regime == "bootstrap"
+
+    def test_regime_shift_switches_and_counts(self):
+        policy = RegimeAdaptiveDelay(
+            window=64, min_samples=8, refresh_every=1
+        )
+        params = MachineParams()
+        rng = np.random.default_rng(0)
+        ctx = ConflictContext(tx_age=1000, chain_k=2, params=params)
+        # short commits: µ̂/B̂ tiny -> mean regime
+        for _ in range(64):
+            policy.observe_commit(5.0)
+        for _ in range(16):
+            policy.decide(ctx, rng)
+        assert policy.regime == "mean"
+        switches_after_mean = policy.regime_switches
+        # long commits flood the window: µ̂/B̂ huge -> rand regime
+        for _ in range(64):
+            policy.observe_commit(1e6)
+        policy.decide(ctx, rng)
+        assert policy.regime == "rand"
+        assert policy.regime_switches == switches_after_mean + 1
+
+    def test_decide_grace_is_bounded_by_abort_cost_scale(self):
+        """Sampled graces stay within the optimal density's support
+        (a loose sanity bound: < 4x the bucketed abort cost)."""
+        policy = RegimeAdaptiveDelay(min_samples=1, refresh_every=1)
+        params = MachineParams()
+        rng = np.random.default_rng(7)
+        ctx = ConflictContext(tx_age=500, chain_k=2, params=params)
+        for _ in range(50):
+            grace = policy.decide(ctx, rng)
+            assert 0 <= grace <= 4 * ctx.abort_cost
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError, match="min_samples"):
+            RegimeAdaptiveDelay(min_samples=0)
+        with pytest.raises(InvalidParameterError, match="refresh_every"):
+            RegimeAdaptiveDelay(refresh_every=0)
