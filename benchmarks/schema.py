@@ -24,8 +24,11 @@ __all__ = [
     "validate_core_payload",
     "validate_parallel_payload",
     "validate_serve_payload",
+    "validate_ablate_payload",
     "validate_payload",
+    "validate_file",
     "dump_payload",
+    "main",
 ]
 
 
@@ -172,6 +175,61 @@ _SERVE_SPEC = {
 }
 
 
+#: ``BENCH_ablate.json`` — the strategy-ablation importance ranking
+#: (``python -m repro ablate``).  ``seed`` is -1 when the run used the
+#: default seed.  ``ranking`` entries are checked against
+#: ``_ABLATE_RANK_SPEC`` plus two cross-checks: ranks must be the
+#: contiguous sequence 1..N and importance must be non-increasing —
+#: a report violating either was assembled wrong, not just measured
+#: differently.
+_ABLATE_SPEC = {
+    "schema_version": (int, True, lambda v: v == 1),
+    "suite": (str, True, lambda v: v == "ablate"),
+    "generated_by": (str, True, None),
+    "quick": (bool, True, None),
+    "seed": (int, True, None),
+    "workloads": (
+        list,
+        True,
+        lambda v: len(v) > 0 and all(isinstance(w, str) and w for w in v),
+    ),
+    "replicates": (int, True, lambda v: v >= 1),
+    "n_rows": (int, True, lambda v: v >= 0),
+    "baseline_config": (
+        dict,
+        True,
+        lambda v: len(v) > 0
+        and all(isinstance(x, str) for kv in v.items() for x in kv),
+    ),
+    "baseline": (dict, True, None),
+    "ranking": (list, True, None),
+}
+
+#: One flip inside the ``ranking`` list of ``BENCH_ablate.json``.
+_ABLATE_RANK_SPEC = {
+    "rank": (int, True, lambda v: v >= 1),
+    "flip": (str, True, lambda v: len(v) > 0),
+    "axis": (str, True, lambda v: len(v) > 0),
+    "value": (str, True, lambda v: len(v) > 0),
+    "importance": (
+        (int, float),
+        True,
+        lambda v: _is_finite_number(v) and v >= 0,
+    ),
+    "n_pairs": (int, True, lambda v: v >= 1),
+    "metrics": (dict, True, lambda v: len(v) > 0),
+}
+
+#: One metric block inside a ranking entry (paired-delta summary).
+_ABLATE_METRIC_SPEC = {
+    "baseline_mean": ((int, float), True, _is_finite_number),
+    "flipped_mean": ((int, float), True, _is_finite_number),
+    "delta": ((int, float), True, _is_finite_number),
+    "ci_lo": ((int, float), True, _is_finite_number),
+    "ci_hi": ((int, float), True, _is_finite_number),
+}
+
+
 def validate_bench_entry(name: str, entry: dict) -> None:
     if not name or not isinstance(name, str):
         _fail("benches", f"bench name must be a non-empty string, got {name!r}")
@@ -227,15 +285,55 @@ def validate_serve_payload(payload: dict) -> dict:
     return payload
 
 
+def validate_ablate_payload(payload: dict) -> dict:
+    """Validate a ``BENCH_ablate.json`` payload; returns it unchanged."""
+    _check_fields(payload, _ABLATE_SPEC, "payload")
+    for workload, metrics in payload["baseline"].items():
+        path = f"baseline[{workload!r}]"
+        if not isinstance(metrics, dict) or not metrics:
+            _fail(path, "expected a non-empty metric object")
+        for name, value in metrics.items():
+            if not _is_finite_number(value):
+                _fail(path, f"metric {name!r} value {value!r} is not finite")
+    previous = None
+    for i, entry in enumerate(payload["ranking"]):
+        path = f"ranking[{i}]"
+        _check_fields(entry, _ABLATE_RANK_SPEC, path)
+        if entry["rank"] != i + 1:
+            _fail(
+                path,
+                f"ranks must be contiguous from 1: got {entry['rank']}, "
+                f"expected {i + 1}",
+            )
+        if previous is not None and entry["importance"] > previous:
+            _fail(
+                path,
+                f"importance must be non-increasing: {entry['importance']!r} "
+                f"after {previous!r}",
+            )
+        previous = entry["importance"]
+        for name, block in entry["metrics"].items():
+            mpath = f"{path}.metrics[{name!r}]"
+            _check_fields(block, _ABLATE_METRIC_SPEC, mpath)
+            if block["ci_hi"] < block["ci_lo"]:
+                _fail(
+                    mpath,
+                    f"ci_hi {block['ci_hi']!r} below ci_lo {block['ci_lo']!r}",
+                )
+    return payload
+
+
 def validate_payload(payload: dict, kind: str) -> dict:
-    """Validate by artifact kind: ``"core"``, ``"parallel"`` or
-    ``"serve"``."""
+    """Validate by artifact kind: ``"core"``, ``"parallel"``,
+    ``"serve"`` or ``"ablate"``."""
     if kind == "core":
         return validate_core_payload(payload)
     if kind == "parallel":
         return validate_parallel_payload(payload)
     if kind == "serve":
         return validate_serve_payload(payload)
+    if kind == "ablate":
+        return validate_ablate_payload(payload)
     raise BenchSchemaError(f"unknown bench artifact kind {kind!r}")
 
 
@@ -244,3 +342,62 @@ def dump_payload(payload: dict, kind: str, out: pathlib.Path) -> None:
     the harnesses persist an artifact)."""
     validate_payload(payload, kind)
     out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _infer_kind(path: pathlib.Path, payload: dict) -> str:
+    """Artifact kind from the ``BENCH_<kind>.json`` name, falling back
+    to the in-payload ``suite`` (``BENCH_parallel.json`` has none)."""
+    stem = path.stem
+    if stem.startswith("BENCH_"):
+        return stem[len("BENCH_"):]
+    suite = payload.get("suite")
+    if isinstance(suite, str):
+        return suite
+    raise BenchSchemaError(
+        f"{path}: cannot infer artifact kind (name is not BENCH_<kind>.json "
+        f"and payload has no 'suite' field)"
+    )
+
+
+def validate_file(path: pathlib.Path | str) -> str:
+    """Validate one committed artifact file; returns its kind."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise BenchSchemaError(f"{path}: unreadable: {exc}") from exc
+    except ValueError as exc:
+        raise BenchSchemaError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BenchSchemaError(f"{path}: top level is not an object")
+    kind = _infer_kind(path, payload)
+    try:
+        validate_payload(payload, kind)
+    except BenchSchemaError as exc:
+        raise BenchSchemaError(f"{path}: {exc}") from exc
+    return kind
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m benchmarks.schema BENCH_*.json`` — the single
+    read-side gate CI runs over every committed artifact."""
+    import sys
+
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: python -m benchmarks.schema BENCH_*.json", file=sys.stderr)
+        return 2
+    failures = 0
+    for raw in paths:
+        try:
+            kind = validate_file(raw)
+        except BenchSchemaError as exc:
+            print(f"FAIL {raw}: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {raw} ({kind})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""The ablatable axes of a conflict-policy configuration.
+
+A :class:`PolicyConfig` names one value per axis; the **baseline** is
+the full system (every component on, the online-estimated regime
+policy), and the run matrix is *baseline plus one component flipped* —
+one configuration per alternative value of each axis, everything else
+held at baseline (the aumai-ablation protocol).
+
+=============  ==========  =============================================
+axis           baseline    alternatives
+=============  ==========  =============================================
+``grace``      ``on``      ``off`` — no grace period, stock
+                           requestor-wins (``NO_DELAY``)
+``family``     ``regime``  ``det`` (Theorem 4's ``B/(k-1)``), ``rand``
+                           (Theorem 5's uniform draw), ``greedy``
+                           (the global-knowledge Greedy contention
+                           manager, the non-paper comparison arm)
+``b_growth``   ``on``      ``off`` — no Corollary 2 abort-cost growth
+                           between retries
+``estimator``  ``online``  ``offline`` (static profiled µ), ``oracle``
+                           (exact µ from a calibration pass)
+``fallback``   ``on``      ``off`` — never escalate to the lock-based
+                           fallback path
+=============  ==========  =============================================
+
+Flip labels are ``axis=value`` strings (``grace=off``); the baseline's
+label is ``baseline``.  :meth:`PolicyConfig.canonical` is the stable
+sorted-key form that feeds cache keys and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Axis",
+    "AXES",
+    "BASELINE_LABEL",
+    "PolicyConfig",
+    "baseline_config",
+    "config_from_flip",
+    "flip_labels",
+    "iter_flips",
+]
+
+#: The baseline row's flip label.
+BASELINE_LABEL = "baseline"
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One ablatable component: its baseline value and alternatives."""
+
+    name: str
+    baseline: str
+    alternatives: tuple[str, ...]
+    doc: str = ""
+
+    @property
+    def values(self) -> tuple[str, ...]:
+        return (self.baseline, *self.alternatives)
+
+
+#: The axis registry, in matrix (and report) order.
+AXES: tuple[Axis, ...] = (
+    Axis("grace", "on", ("off",), "grace-period rule on conflict"),
+    Axis(
+        "family",
+        "regime",
+        ("det", "rand", "greedy"),
+        "backoff family: regime-adaptive vs DET vs RAND vs greedy CM",
+    ),
+    Axis("b_growth", "on", ("off",), "Corollary 2 abort-cost growth"),
+    Axis(
+        "estimator",
+        "online",
+        ("offline", "oracle"),
+        "(B, k, mu) estimate source for the regime policy",
+    ),
+    Axis("fallback", "on", ("off",), "lock-based fallback escalation"),
+)
+
+_AXES_BY_NAME = {axis.name: axis for axis in AXES}
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """One point of the configuration space (one value per axis)."""
+
+    grace: str = "on"
+    family: str = "regime"
+    b_growth: str = "on"
+    estimator: str = "online"
+    fallback: str = "on"
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            axis = _AXES_BY_NAME[f.name]
+            value = getattr(self, f.name)
+            if value not in axis.values:
+                raise InvalidParameterError(
+                    f"axis {f.name!r} has no value {value!r}; "
+                    f"known: {', '.join(axis.values)}"
+                )
+
+    def canonical(self) -> dict[str, str]:
+        """Stable sorted-key dict form (cache keys, reports)."""
+        return {f.name: getattr(self, f.name) for f in sorted(
+            fields(self), key=lambda f: f.name
+        )}
+
+    def flip_label(self) -> str:
+        """``axis=value`` for a one-flip config, ``baseline`` for the
+        baseline; multi-flip configs are rejected."""
+        base = baseline_config()
+        flips = [
+            (f.name, getattr(self, f.name))
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(base, f.name)
+        ]
+        if not flips:
+            return BASELINE_LABEL
+        if len(flips) > 1:
+            raise InvalidParameterError(
+                f"config flips {len(flips)} axes at once "
+                f"({flips}); the matrix is baseline-plus-one-flip"
+            )
+        name, value = flips[0]
+        return f"{name}={value}"
+
+
+def baseline_config() -> PolicyConfig:
+    """The full system: every axis at its baseline value."""
+    return PolicyConfig()
+
+
+def config_from_flip(label: str) -> PolicyConfig:
+    """Parse a flip label (``baseline`` or ``axis=value``) to a config."""
+    if label == BASELINE_LABEL:
+        return baseline_config()
+    name, sep, value = label.partition("=")
+    if not sep or not name or not value:
+        raise InvalidParameterError(
+            f"malformed flip label {label!r}; expected "
+            f"{BASELINE_LABEL!r} or 'axis=value'"
+        )
+    axis = _AXES_BY_NAME.get(name)
+    if axis is None:
+        raise InvalidParameterError(
+            f"unknown ablation axis {name!r}; known: "
+            f"{', '.join(a.name for a in AXES)}"
+        )
+    if value == axis.baseline:
+        raise InvalidParameterError(
+            f"{label!r} is the baseline value; use {BASELINE_LABEL!r}"
+        )
+    if value not in axis.alternatives:
+        raise InvalidParameterError(
+            f"axis {name!r} has no alternative {value!r}; known: "
+            f"{', '.join(axis.alternatives)}"
+        )
+    return PolicyConfig(**{name: value})
+
+
+def iter_flips() -> list[tuple[str, PolicyConfig]]:
+    """The full matrix: ``(label, config)``, baseline first, then one
+    entry per alternative value in axis order."""
+    out = [(BASELINE_LABEL, baseline_config())]
+    for axis in AXES:
+        for value in axis.alternatives:
+            out.append((f"{axis.name}={value}", PolicyConfig(**{axis.name: value})))
+    return out
+
+
+def flip_labels() -> list[str]:
+    """All flip labels in matrix order (baseline included)."""
+    return [label for label, _ in iter_flips()]

@@ -1,0 +1,158 @@
+"""Render the ablation matrix: JSON payload, CSV rows, Markdown ranking.
+
+All three artifacts are pure functions of (rows, scores, run metadata):
+no wall clock, no environment probes — the CI ``ablate`` job diffs a
+cold-cache run against a warm rerun byte-for-byte, and the tests assert
+the same identity across ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.ablation import axes
+from repro.ablation.score import METRICS, FlipScore, rank_scores
+
+__all__ = ["CSV_COLUMNS", "build_payload", "render_csv", "render_markdown"]
+
+#: Raw replicate-row CSV column order.
+CSV_COLUMNS = (
+    "flip",
+    "axis",
+    "value",
+    "workload",
+    "rep",
+    "ops_per_sec",
+    "abort_rate",
+    "fallback_share",
+    "ratio_vs_opt",
+    "attempts_p90",
+)
+
+#: Schema version of the ``BENCH_ablate.json`` payload.
+SCHEMA_VERSION = 1
+
+
+def _fmt(value) -> str:
+    """Byte-stable cell text: shortest-repr floats, plain ints/strs."""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def build_payload(
+    rows,
+    scores: list[FlipScore],
+    *,
+    workloads,
+    replicates: int,
+    quick: bool,
+    seed: int | None,
+) -> dict:
+    """The ``BENCH_ablate.json`` document (``benchmarks/schema.py`` kind
+    ``"ablate"``)."""
+    ranked = rank_scores(scores)
+    baseline: dict[str, dict[str, float]] = {}
+    for workload in workloads:
+        cell = [
+            r for r in rows
+            if r["flip"] == axes.BASELINE_LABEL and r["workload"] == workload
+        ]
+        if not cell:
+            continue
+        baseline[workload] = {
+            spec.name: float(
+                sum(float(r[spec.name]) for r in cell) / len(cell)
+            )
+            for spec in METRICS
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "ablate",
+        "generated_by": "repro.ablation",
+        "quick": bool(quick),
+        "seed": -1 if seed is None else int(seed),
+        "workloads": list(workloads),
+        "replicates": int(replicates),
+        "n_rows": len(rows),
+        "baseline_config": axes.baseline_config().canonical(),
+        "baseline": baseline,
+        "ranking": [
+            {
+                "rank": rank,
+                "flip": s.flip,
+                "axis": s.axis,
+                "value": s.value,
+                "importance": s.importance,
+                "n_pairs": s.n_pairs,
+                "metrics": s.metrics,
+            }
+            for rank, s in enumerate(ranked, start=1)
+        ],
+    }
+
+
+def render_csv(rows) -> str:
+    """The raw replicate rows as CSV (deterministic column and row order:
+    rows are emitted exactly as generated — flip-matrix order)."""
+    out = io.StringIO()
+    out.write(",".join(CSV_COLUMNS) + "\n")
+    for row in rows:
+        out.write(",".join(_fmt(row[c]) for c in CSV_COLUMNS) + "\n")
+    return out.getvalue()
+
+
+def render_markdown(payload: dict) -> str:
+    """The importance-ranking report (docs/ABLATION.md defines the
+    metrics and the normalization)."""
+    lines: list[str] = []
+    lines.append("# Ablation importance ranking")
+    lines.append("")
+    mode = "quick" if payload["quick"] else "full"
+    seed = payload["seed"]
+    lines.append(
+        f"Matrix: baseline + {len(payload['ranking'])} one-component flips "
+        f"over workloads {', '.join(payload['workloads'])} "
+        f"({payload['replicates']} replicates, seed {seed}, {mode} mode)."
+    )
+    base_cfg = " ".join(
+        f"{k}={v}" for k, v in payload["baseline_config"].items()
+    )
+    lines.append("")
+    lines.append(f"Baseline configuration: `{base_cfg}`")
+    lines.append("")
+    lines.append(
+        "Importance = mean |normalized delta| across the metric set "
+        "(relative deltas for scale metrics, absolute for rates); "
+        "brackets are seeded-bootstrap 95% CIs over paired "
+        "(workload, replicate) deltas.  See docs/ABLATION.md."
+    )
+    lines.append("")
+    header = ["rank", "flip", "importance"] + [
+        f"d {spec.name}" for spec in METRICS
+    ]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for entry in payload["ranking"]:
+        cells = [str(entry["rank"]), f"`{entry['flip']}`",
+                 f"{entry['importance']:.4f}"]
+        for spec in METRICS:
+            m = entry["metrics"][spec.name]
+            cells.append(
+                f"{m['delta']:+.4f} [{m['ci_lo']:+.4f}, {m['ci_hi']:+.4f}]"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    lines.append("## Baseline reference")
+    lines.append("")
+    bheader = ["workload"] + [spec.name for spec in METRICS]
+    lines.append("| " + " | ".join(bheader) + " |")
+    lines.append("|" + "|".join("---" for _ in bheader) + "|")
+    for workload in payload["workloads"]:
+        base = payload["baseline"].get(workload)
+        if base is None:
+            continue
+        cells = [workload] + [f"{base[spec.name]:.4f}" for spec in METRICS]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)

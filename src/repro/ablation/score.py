@@ -1,0 +1,170 @@
+"""Importance scoring: what breaks when one component is flipped.
+
+For each flip, every metric is compared against the baseline over the
+**paired** ``(workload, rep)`` grid (the runner seeds machine and
+adversary streams from the pair coordinates only, so each pair shares
+its random numbers with the baseline's).  Per pair the delta is
+normalized by the metric's mode:
+
+* ``relative`` (scale metrics: throughput, ratio-vs-OPT, attempts) —
+  ``(flip - base) / |base|``
+* ``absolute`` (rates already in [0, 1]: abort rate, fallback share) —
+  ``flip - base``
+
+A flip's **importance** is the mean of the absolute normalized deltas
+across metrics — how much the system moves, in any direction, when the
+component is removed or substituted.  Each per-metric delta carries a
+seeded-bootstrap 95% confidence interval (resampling pairs), so the
+report distinguishes real movement from replicate noise.  Ranking sorts
+by descending importance with the flip label as the deterministic
+tie-break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ablation import axes
+from repro.errors import InvalidParameterError
+from repro.rngutil import stream_for
+
+__all__ = ["MetricSpec", "METRICS", "FlipScore", "score_matrix", "rank_scores"]
+
+#: Bootstrap resamples for the per-metric confidence intervals.
+N_BOOT = 200
+
+#: Guard denominator for relative deltas.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One scored metric: its delta normalization and good direction."""
+
+    name: str
+    mode: str  # "relative" | "absolute"
+    better: str  # "higher" | "lower"
+
+
+#: The scored metric set, in report order (docs/ABLATION.md defines each).
+METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("ops_per_sec", "relative", "higher"),
+    MetricSpec("abort_rate", "absolute", "lower"),
+    MetricSpec("ratio_vs_opt", "relative", "lower"),
+    MetricSpec("attempts_p90", "relative", "lower"),
+    MetricSpec("fallback_share", "absolute", "lower"),
+)
+
+
+@dataclass(frozen=True)
+class FlipScore:
+    """One flip's scored comparison against the baseline."""
+
+    flip: str
+    axis: str
+    value: str
+    importance: float
+    n_pairs: int
+    #: metric name -> {baseline_mean, flipped_mean, delta, ci_lo, ci_hi}
+    metrics: dict[str, dict[str, float]]
+
+
+def _pairs(rows):
+    """Index rows by flip -> (workload, rep) -> row."""
+    table: dict[str, dict[tuple[str, int], dict]] = {}
+    for row in rows:
+        table.setdefault(str(row["flip"]), {})[
+            (str(row["workload"]), int(row["rep"]))
+        ] = row
+    return table
+
+
+def _norm_deltas(spec: MetricSpec, base_rows, flip_rows, keys) -> np.ndarray:
+    out = np.empty(len(keys))
+    for i, key in enumerate(keys):
+        b = float(base_rows[key][spec.name])
+        f = float(flip_rows[key][spec.name])
+        d = f - b
+        if spec.mode == "relative":
+            d = d / max(abs(b), _EPS)
+        out[i] = d
+    return out
+
+
+def _bootstrap_ci(deltas: np.ndarray, rng) -> tuple[float, float]:
+    n = deltas.size
+    idx = rng.integers(0, n, size=(N_BOOT, n))
+    means = deltas[idx].mean(axis=1)
+    lo, hi = np.percentile(means, [2.5, 97.5])
+    return float(lo), float(hi)
+
+
+def score_matrix(
+    rows, *, seed: int | None = None
+) -> list[FlipScore]:
+    """Score every non-baseline flip in ``rows`` against the baseline.
+
+    Rows are the runner's replicate rows (any subset of the matrix);
+    flips keep their first-appearance order.  A matrix with no baseline
+    rows cannot be scored; a baseline-only (or empty) matrix scores to
+    an empty list.
+    """
+    table = _pairs(rows)
+    if not table:
+        return []
+    base = table.get(axes.BASELINE_LABEL)
+    if base is None:
+        raise InvalidParameterError(
+            "ablation matrix has no baseline rows; importance is "
+            "defined as movement relative to the baseline"
+        )
+    scores: list[FlipScore] = []
+    for flip, flip_rows in table.items():
+        if flip == axes.BASELINE_LABEL:
+            continue
+        keys = sorted(set(base) & set(flip_rows))
+        if not keys:
+            raise InvalidParameterError(
+                f"flip {flip!r} shares no (workload, rep) pairs with "
+                f"the baseline; run both over the same grid"
+            )
+        metrics: dict[str, dict[str, float]] = {}
+        norm_means: list[float] = []
+        for spec in METRICS:
+            deltas = _norm_deltas(spec, base, flip_rows, keys)
+            point = float(deltas.mean())
+            rng = stream_for(seed, "ablate", "boot", flip, spec.name)
+            ci_lo, ci_hi = _bootstrap_ci(deltas, rng)
+            metrics[spec.name] = {
+                "baseline_mean": float(
+                    np.mean([float(base[k][spec.name]) for k in keys])
+                ),
+                "flipped_mean": float(
+                    np.mean([float(flip_rows[k][spec.name]) for k in keys])
+                ),
+                "delta": point,
+                "ci_lo": ci_lo,
+                "ci_hi": ci_hi,
+            }
+            norm_means.append(abs(point))
+        axis = str(next(iter(flip_rows.values()))["axis"])
+        value = str(next(iter(flip_rows.values()))["value"])
+        scores.append(
+            FlipScore(
+                flip=flip,
+                axis=axis,
+                value=value,
+                importance=float(np.mean(norm_means)),
+                n_pairs=len(keys),
+                metrics=metrics,
+            )
+        )
+    return scores
+
+
+def rank_scores(scores: list[FlipScore]) -> list[FlipScore]:
+    """Descending importance; ties break on the flip label (stable and
+    deterministic, so equal-importance flips always rank alphabetically)."""
+    return sorted(scores, key=lambda s: (-s.importance, s.flip))

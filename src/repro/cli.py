@@ -510,6 +510,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "ablate":
+        # the strategy-ablation matrix + importance ranking; see
+        # repro.ablation and docs/ABLATION.md
+        from repro.ablation.cli import ablate_main
+
+        return ablate_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for exp_id, title in sorted(EXPERIMENTS.items()):
@@ -521,7 +527,10 @@ def main(argv: list[str] | None = None) -> int:
     ids = list(args.experiments)
     if ids == ["all"]:
         ids = sorted(EXPERIMENTS)
-    unknown = [i for i in ids if i not in EXPERIMENTS]
+    # ablation cells (ablate/<flip>/<workload>) resolve dynamically
+    from repro.experiments.registry import known_experiment
+
+    unknown = [i for i in ids if not known_experiment(i)]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("use --list to see available ids", file=sys.stderr)

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.ablation.runner import run_ablate_rank
 from repro.errors import ExperimentError, ExperimentTimeoutError, SimulationError
 from repro.experiments import (
     ablations,
@@ -48,6 +49,7 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "register_experiment",
+    "known_experiment",
 ]
 
 
@@ -288,10 +290,60 @@ _SPECS: dict[str, _Spec] = {
         "per_attempt (paper's model): delays win; rate (outside the "
         "model): immediate abort gains an un-modeled advantage",
     ),
+    "ablate_rank": _Spec(
+        "Ablation: component importance ranking over the flip matrix",
+        run_ablate_rank,
+        dict(
+            workloads=("queue", "txapp"),
+            replicates=4,
+            horizon=120_000.0,
+            n_cores=8,
+            arena_conflicts=400,
+            attempt_trials=48,
+            attempt_cap=128,
+        ),
+        dict(
+            workloads=("queue",),
+            replicates=2,
+            horizon=24_000.0,
+            n_cores=4,
+            arena_conflicts=120,
+            attempt_trials=24,
+            attempt_cap=64,
+        ),
+        "which policy component earns its keep: grace / family / "
+        "B-growth / estimator / fallback flips, ranked (docs/ABLATION.md)",
+    ),
 }
 
 #: Public experiment table (id -> title).
 EXPERIMENTS: dict[str, str] = {k: s.title for k, s in _SPECS.items()}
+
+
+def _resolve_spec(exp_id: str) -> _Spec | None:
+    """Static registry lookup, plus dynamic resolution of ablation cell
+    ids (``ablate/<flip>/<workload>``).
+
+    Cells are resolved from the id alone so worker processes — which
+    never see the parent's runtime registrations — rebuild the same
+    spec under any start method, and every cell gets its own
+    content-addressed cache entry.  Malformed ``ablate/`` ids raise
+    :class:`~repro.errors.ExperimentError` like any other unknown id.
+    """
+    spec = _SPECS.get(exp_id)
+    if spec is None and exp_id.startswith("ablate/"):
+        from repro.ablation.cells import spec_args
+
+        return _Spec(**spec_args(exp_id))
+    return spec
+
+
+def known_experiment(exp_id: str) -> bool:
+    """Whether :func:`run_experiment` can resolve ``exp_id``."""
+    try:
+        return _resolve_spec(exp_id) is not None
+    except ExperimentError:
+        return False
 
 
 def register_experiment(
@@ -406,7 +458,7 @@ def run_experiment(
     relocates the computation — and neither appears in the result's
     ``params`` or the cache key.
     """
-    spec = _SPECS.get(exp_id)
+    spec = _resolve_spec(exp_id)
     if spec is None:
         known = ", ".join(sorted(_SPECS))
         raise ExperimentError(f"unknown experiment {exp_id!r}; known: {known}")

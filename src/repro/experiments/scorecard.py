@@ -83,6 +83,28 @@ def _grade_robustness(rows) -> tuple[bool, str]:
     return ok, "throughput degrades gracefully under injected faults"
 
 
+def _grade_ablate(rows) -> tuple[bool, str]:
+    """The importance ranking is well-formed and the grace-period rule
+    dominates estimator choice (the paper's central lever)."""
+    ranks = [r["rank"] for r in rows]
+    importances = [r["importance"] for r in rows]
+    well_formed = (
+        ranks == list(range(1, len(rows) + 1))
+        and all(math.isfinite(i) and i >= 0 for i in importances)
+        and all(a >= b for a, b in zip(importances, importances[1:]))
+    )
+    by_flip = {r["flip"]: r["rank"] for r in rows}
+    grace = by_flip.get("grace=off")
+    estimators = [v for k, v in by_flip.items() if k.startswith("estimator=")]
+    ok = (
+        well_formed
+        and grace is not None
+        and bool(estimators)
+        and all(grace < e for e in estimators)
+    )
+    return ok, "grace-period rule outranks estimator choice in ablation"
+
+
 #: claim graders per experiment id (quick-mode rows in, verdict out).
 _GRADERS: dict[str, Callable] = {
     "fig2a": _grade_fig2a,
@@ -97,6 +119,7 @@ _GRADERS: dict[str, Callable] = {
     "cor2": _grade_cor2,
     "abl_hybrid": _grade_hybrid,
     "robustness": _grade_robustness,
+    "ablate_rank": _grade_ablate,
 }
 
 

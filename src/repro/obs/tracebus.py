@@ -37,6 +37,8 @@ Canonical event kinds (full schema in docs/OBSERVABILITY.md):
                     regime (seq, old, new, k, mu_over_b)
 ``loadgen_phase``   load generator crossed a workload-phase boundary
                     (phase, first_seq, mu, rate)
+``ablation_run``    one ablation matrix cell measured (flip, workload,
+                    replicates)
 ==================  ======================================================
 
 Serialization is canonical — ``json.dumps(..., sort_keys=True)`` with
@@ -92,6 +94,7 @@ EVENT_KINDS = frozenset(
         "decision_served",
         "regime_switch",
         "loadgen_phase",
+        "ablation_run",
     }
 )
 

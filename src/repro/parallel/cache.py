@@ -143,8 +143,10 @@ class ResultCache:
         self.fingerprint = fingerprint or source_fingerprint()
 
     def _path(self, exp_id: str, key: str) -> pathlib.Path:
-        # exp_id prefix keeps the directory human-auditable
-        return self.root / f"{exp_id}-{key[:32]}.json"
+        # exp_id prefix keeps the directory human-auditable; slashes in
+        # dynamic ids (ablate/<flip>/<workload>) flatten so every entry
+        # stays a direct child of root (scan/prune glob "*.json" there)
+        return self.root / f"{exp_id.replace('/', '__')}-{key[:32]}.json"
 
     def key(
         self, exp_id: str, kwargs: dict, *, quick: bool, seed: int | None

@@ -1,0 +1,365 @@
+"""Strategy-ablation engine: axes, cells, scoring, reports, CLI.
+
+The load-bearing contracts:
+
+* flip labels and cell ids round-trip and canonicalize stably (cache
+  keys depend on it),
+* importance scoring handles the edge matrix shapes (empty, baseline
+  only, missing baseline, ties) deterministically,
+* ``python -m repro ablate`` writes byte-identical artifacts at any
+  ``--jobs`` and on a warm-cache rerun, and the cache invalidates when
+  the source fingerprint moves.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import schema as bench_schema
+from repro.ablation import axes
+from repro.ablation.cells import WORKLOADS, cell_id, parse_cell_id
+from repro.ablation.report import CSV_COLUMNS, build_payload, render_csv, render_markdown
+from repro.ablation.score import METRICS, rank_scores, score_matrix
+from repro.cli import main
+from repro.errors import ExperimentError, InvalidParameterError
+from repro.experiments.registry import known_experiment, run_experiment
+from repro.parallel import ResultCache
+
+
+# ---------------------------------------------------------------- axes
+
+
+def test_baseline_config_is_all_baseline_values():
+    cfg = axes.baseline_config()
+    for axis in axes.AXES:
+        assert getattr(cfg, axis.name) == axis.baseline
+    assert cfg.flip_label() == axes.BASELINE_LABEL
+
+
+def test_canonical_form_is_sorted_and_stable():
+    cfg = axes.config_from_flip("family=det")
+    canon = cfg.canonical()
+    assert list(canon) == sorted(canon)
+    # same flip parsed twice -> identical canonical dict (cache keys)
+    assert canon == axes.config_from_flip("family=det").canonical()
+    assert canon["family"] == "det"
+    assert canon["grace"] == "on"
+
+
+def test_flip_label_round_trips_through_config():
+    for label, cfg in axes.iter_flips():
+        assert cfg.flip_label() == label
+        assert axes.config_from_flip(label) == cfg
+
+
+def test_matrix_is_baseline_plus_one_per_alternative():
+    labels = axes.flip_labels()
+    assert labels[0] == axes.BASELINE_LABEL
+    n_alts = sum(len(a.alternatives) for a in axes.AXES)
+    assert len(labels) == 1 + n_alts
+    assert len(set(labels)) == len(labels)
+
+
+@pytest.mark.parametrize(
+    "label",
+    ["", "=", "grace=", "=off", "grace", "nosuch=off", "grace=banana"],
+)
+def test_malformed_flip_labels_rejected(label):
+    with pytest.raises(InvalidParameterError):
+        axes.config_from_flip(label)
+
+
+def test_baseline_valued_flip_rejected():
+    with pytest.raises(InvalidParameterError, match="baseline"):
+        axes.config_from_flip("grace=on")
+
+
+def test_multi_flip_config_has_no_label():
+    cfg = axes.PolicyConfig(grace="off", family="det")
+    with pytest.raises(InvalidParameterError, match="one-flip"):
+        cfg.flip_label()
+
+
+def test_invalid_axis_value_rejected_at_construction():
+    with pytest.raises(InvalidParameterError):
+        axes.PolicyConfig(estimator="psychic")
+
+
+# --------------------------------------------------------------- cells
+
+
+def test_cell_id_round_trip():
+    for label, _ in axes.iter_flips():
+        for workload in WORKLOADS:
+            assert parse_cell_id(cell_id(label, workload)) == (label, workload)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "ablate/",
+        "ablate/baseline",
+        "ablate/grace=off/nosuchworkload",
+        "ablate/grace=banana/queue",
+        "fig2a",
+        "ablate//queue",
+    ],
+)
+def test_malformed_cell_ids_rejected(bad):
+    with pytest.raises(ExperimentError):
+        parse_cell_id(bad)
+
+
+def test_registry_resolves_ablation_cells():
+    assert known_experiment("ablate/baseline/queue")
+    assert known_experiment("ablate/grace=off/txapp")
+    assert not known_experiment("ablate/grace=banana/queue")
+    assert not known_experiment("ablate/baseline/nosuch")
+    assert not known_experiment("nosuch")
+
+
+# -------------------------------------------------------------- scoring
+
+
+def _row(flip, workload="queue", rep=0, **metrics):
+    axis, _, value = flip.partition("=")
+    if flip == axes.BASELINE_LABEL:
+        axis = value = axes.BASELINE_LABEL
+    base = dict(
+        ops_per_sec=1e6,
+        abort_rate=0.1,
+        fallback_share=0.0,
+        ratio_vs_opt=1.5,
+        attempts_p90=4.0,
+    )
+    base.update(metrics)
+    return dict(flip=flip, axis=axis, value=value, workload=workload, rep=rep, **base)
+
+
+def test_empty_matrix_scores_empty():
+    assert score_matrix([]) == []
+
+
+def test_baseline_only_matrix_scores_empty():
+    rows = [_row(axes.BASELINE_LABEL, rep=r) for r in range(3)]
+    assert score_matrix(rows) == []
+
+
+def test_missing_baseline_raises():
+    rows = [_row("grace=off", rep=r) for r in range(2)]
+    with pytest.raises(InvalidParameterError, match="baseline"):
+        score_matrix(rows)
+
+
+def test_disjoint_pairs_raise():
+    rows = [_row(axes.BASELINE_LABEL, rep=0), _row("grace=off", rep=7)]
+    with pytest.raises(InvalidParameterError, match="pairs"):
+        score_matrix(rows)
+
+
+def test_importance_ties_rank_alphabetically():
+    rows = [_row(axes.BASELINE_LABEL, rep=r) for r in range(2)]
+    # two flips with *identical* movement -> identical importance
+    for flip in ("grace=off", "family=det"):
+        rows += [
+            _row(flip, rep=r, ops_per_sec=2e6, abort_rate=0.3) for r in range(2)
+        ]
+    ranked = rank_scores(score_matrix(rows, seed=0))
+    assert [s.flip for s in ranked] == ["family=det", "grace=off"]
+    assert ranked[0].importance == ranked[1].importance
+
+
+def test_scores_are_paired_and_normalized():
+    rows = [_row(axes.BASELINE_LABEL, rep=r) for r in range(2)]
+    rows += [_row("grace=off", rep=r, ops_per_sec=0.5e6) for r in range(2)]
+    (score,) = score_matrix(rows, seed=1)
+    assert score.n_pairs == 2
+    ops = score.metrics["ops_per_sec"]
+    assert ops["delta"] == pytest.approx(-0.5)
+    assert ops["ci_lo"] <= ops["delta"] <= ops["ci_hi"]
+    # identical metrics contribute zero; importance = mean over all five
+    assert score.importance == pytest.approx(0.5 / len(METRICS))
+
+
+def test_bootstrap_is_seed_deterministic():
+    rows = [_row(axes.BASELINE_LABEL, rep=r) for r in range(3)]
+    rows += [
+        _row("grace=off", rep=r, ops_per_sec=1e6 * (0.4 + 0.1 * r))
+        for r in range(3)
+    ]
+    a = score_matrix(rows, seed=5)
+    b = score_matrix(rows, seed=5)
+    c = score_matrix(rows, seed=6)
+    assert a[0].metrics == b[0].metrics  # same seed -> identical CIs
+    assert a[0].importance == c[0].importance  # point estimates seed-free
+
+
+# -------------------------------------------------------- cells + cache
+
+
+def test_cell_runs_and_is_seed_deterministic():
+    kwargs = dict(quick=True, seed=11)
+    a = run_experiment("ablate/baseline/queue", **kwargs)
+    b = run_experiment("ablate/baseline/queue", **kwargs)
+    assert a.rows == b.rows
+    row = a.rows[0]
+    assert row["flip"] == axes.BASELINE_LABEL
+    assert row["workload"] == "queue"
+    for spec in METRICS:
+        assert spec.name in row
+
+
+def test_cache_hits_same_key_and_misses_on_fingerprint_change(tmp_path):
+    cache_a = ResultCache(tmp_path, fingerprint="tree-a")
+    first = run_experiment(
+        "ablate/grace=off/queue", quick=True, seed=2, cache=cache_a
+    )
+    assert not first.cached
+    warm = run_experiment(
+        "ablate/grace=off/queue", quick=True, seed=2, cache=cache_a
+    )
+    assert warm.cached
+    assert warm.rows == first.rows
+    # a source-tree change is a new fingerprint -> every entry misses
+    cache_b = ResultCache(tmp_path, fingerprint="tree-b")
+    cold = run_experiment(
+        "ablate/grace=off/queue", quick=True, seed=2, cache=cache_b
+    )
+    assert not cold.cached
+    assert cold.rows == first.rows
+
+
+def test_cache_entries_for_slash_ids_stay_flat(tmp_path):
+    cache = ResultCache(tmp_path, fingerprint="t")
+    run_experiment("ablate/baseline/queue", quick=True, seed=0, cache=cache)
+    entries = list(tmp_path.glob("*.json"))
+    assert len(entries) == 1
+    assert "/" not in entries[0].name
+    (report,) = cache.scan()
+    assert report.status == "ok"
+
+
+# ---------------------------------------------------------- report/schema
+
+
+def _tiny_matrix_rows():
+    rows = [_row(axes.BASELINE_LABEL, rep=r) for r in range(2)]
+    rows += [_row("grace=off", rep=r, ops_per_sec=0.5e6) for r in range(2)]
+    return rows
+
+
+def test_payload_validates_against_bench_schema():
+    rows = _tiny_matrix_rows()
+    scores = score_matrix(rows, seed=0)
+    payload = build_payload(
+        rows, scores, workloads=["queue"], replicates=2, quick=True, seed=0
+    )
+    assert bench_schema.validate_payload(payload, "ablate") is payload
+    # and through a JSON round trip (what CI's read-side gate sees)
+    assert bench_schema.validate_payload(
+        json.loads(json.dumps(payload)), "ablate"
+    )
+
+
+def test_schema_rejects_noncontiguous_ranks_and_unsorted_importance():
+    rows = _tiny_matrix_rows()
+    scores = score_matrix(rows, seed=0)
+    payload = build_payload(
+        rows, scores, workloads=["queue"], replicates=2, quick=True, seed=0
+    )
+    broken = json.loads(json.dumps(payload))
+    broken["ranking"][0]["rank"] = 5
+    with pytest.raises(bench_schema.BenchSchemaError, match="contiguous"):
+        bench_schema.validate_payload(broken, "ablate")
+
+    two = json.loads(json.dumps(payload))
+    two["ranking"].append(dict(two["ranking"][0], rank=2, flip="family=det"))
+    two["ranking"][1]["importance"] = two["ranking"][0]["importance"] + 1
+    with pytest.raises(bench_schema.BenchSchemaError, match="non-increasing"):
+        bench_schema.validate_payload(two, "ablate")
+
+
+def test_csv_and_markdown_render_deterministically():
+    rows = _tiny_matrix_rows()
+    scores = score_matrix(rows, seed=0)
+    payload = build_payload(
+        rows, scores, workloads=["queue"], replicates=2, quick=True, seed=0
+    )
+    csv = render_csv(rows)
+    assert csv.splitlines()[0] == ",".join(CSV_COLUMNS)
+    assert len(csv.splitlines()) == 1 + len(rows)
+    assert csv == render_csv(rows)
+    md = render_markdown(payload)
+    assert "grace=off" in md
+    assert md == render_markdown(payload)
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def _ablate(tmp_path, out, *extra):
+    argv = [
+        "ablate", "--quick", "--seed", "7",
+        "--flips", "grace=off", "--workloads", "queue", "--replicates", "1",
+        "--cache-dir", str(tmp_path / "cache"), "--out", str(out), *extra,
+    ]
+    return main(argv)
+
+
+def test_cli_reports_identical_across_jobs_and_cache_state(tmp_path, capsys):
+    cold = tmp_path / "cold"
+    assert _ablate(tmp_path, cold, "--jobs", "2") == 0
+    assert "cache_hits=0" in capsys.readouterr().out
+
+    warm = tmp_path / "warm"
+    assert _ablate(tmp_path, warm) == 0
+    assert "cache_hits=2" in capsys.readouterr().out
+
+    nocache = tmp_path / "nocache"
+    assert _ablate(tmp_path, nocache, "--no-cache") == 0
+    assert "cache_hits=0" in capsys.readouterr().out
+
+    for name in ("BENCH_ablate.json", "BENCH_ablate.csv", "BENCH_ablate.md"):
+        blob = (cold / name).read_bytes()
+        assert (warm / name).read_bytes() == blob
+        assert (nocache / name).read_bytes() == blob
+
+    payload = json.loads((cold / "BENCH_ablate.json").read_text())
+    assert bench_schema.validate_payload(payload, "ablate")
+    assert payload["seed"] == 7
+    assert [e["flip"] for e in payload["ranking"]] == ["grace=off"]
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["ablate", "--jobs", "0"],
+        ["ablate", "--replicates", "0"],
+        ["ablate", "--flips", "grace=banana"],
+        ["ablate", "--workloads", "nosuch"],
+        ["ablate", "--workloads", ""],
+    ],
+)
+def test_cli_rejects_bad_arguments(argv, capsys):
+    assert main(argv) == 2
+    assert capsys.readouterr().err
+
+
+def test_schema_cli_validates_committed_artifacts(tmp_path, capsys):
+    rows = _tiny_matrix_rows()
+    payload = build_payload(
+        rows, score_matrix(rows, seed=0),
+        workloads=["queue"], replicates=2, quick=True, seed=0,
+    )
+    good = tmp_path / "BENCH_ablate.json"
+    bench_schema.dump_payload(payload, "ablate", good)
+    assert bench_schema.main([str(good)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+    bad = tmp_path / "BENCH_ablate_bad.json"
+    bad.write_text("{}")
+    assert bench_schema.main([str(bad)]) == 1
+    assert "FAIL" in capsys.readouterr().err
+    assert bench_schema.main([]) == 2

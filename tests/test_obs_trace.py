@@ -31,7 +31,8 @@ class TestEvent:
         assert "journal_recovered" in EVENT_KINDS
         assert "decision_served" in EVENT_KINDS
         assert "regime_switch" in EVENT_KINDS
-        assert len(EVENT_KINDS) == 18
+        assert "ablation_run" in EVENT_KINDS
+        assert len(EVENT_KINDS) == 19
 
     def test_format_is_one_line(self):
         event = ObsEvent(12.5, "abort", 3, {"reason": "conflict_timeout"})
